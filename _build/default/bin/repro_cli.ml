@@ -1,0 +1,271 @@
+(* Command-line driver: compile mini-language sources and show every stage
+   of the SSA-coalescing pipeline, run programs, and compare coalescers. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Mini-language sources by default; files ending in .ir hold the textual
+   IR syntax of Ir.Printer/Ir.Parse. *)
+let load path =
+  let source = read_file path in
+  if Filename.check_suffix path ".ir" then begin
+    match Ir.Parse.funcs_of_string source with
+    | [] -> failwith "no functions in input"
+    | fs -> fs
+    | exception Ir.Parse.Error (msg, line) ->
+      failwith (Printf.sprintf "%s:%d: %s" path line msg)
+  end
+  else
+    match Frontend.Lower.compile source with
+    | [] -> failwith "no functions in input"
+    | fs -> fs
+    | exception Frontend.Parser.Error (msg, line) ->
+      failwith (Printf.sprintf "%s:%d: %s" path line msg)
+
+let print_func title f =
+  Printf.printf "==== %s ====\n%s\n\n" title (Ir.Printer.func_to_string f)
+
+let stage_names = [ "cfg"; "ssa"; "standard"; "new"; "briggs"; "briggs-star" ]
+
+let dump_cmd =
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let stage =
+    Arg.(
+      value
+      & opt (enum (List.map (fun s -> (s, s)) stage_names)) "new"
+      & info [ "stage" ] ~doc:"Pipeline stage to dump: $(docv)."
+          ~docv:"cfg|ssa|standard|new|briggs|briggs-star")
+  in
+  let run path stage =
+    List.iter
+      (fun f ->
+        Ir.Validate.check_exn f;
+        match stage with
+        | "cfg" -> print_func (f.Ir.name ^ " (input CFG)") f
+        | "ssa" ->
+          let f = Ssa.Construct.run_exn f in
+          Ssa.Ssa_validate.check_exn f;
+          print_func (f.Ir.name ^ " (pruned SSA, copies folded)") f
+        | "standard" ->
+          let f = Ssa.Construct.run_exn f in
+          let f = Ir.Edge_split.run f in
+          let f = Ssa.Destruct_naive.run_exn f in
+          Ir.Validate.check_exn f;
+          print_func (f.Ir.name ^ " (Standard phi instantiation)") f
+        | "new" ->
+          let f = Ssa.Construct.run_exn f in
+          let f, stats = Core.Coalesce.run f in
+          Ir.Validate.check_exn f;
+          print_func (f.Ir.name ^ " (New coalescer)") f;
+          Printf.printf
+            "classes=%d members=%d copies=%d filter-refusals=%d forest-detached=%d \
+             local-detached=%d\n"
+            stats.classes stats.class_members stats.copies_inserted
+            stats.filter_refusals stats.forest_detached stats.local_detached
+        | "briggs" | "briggs-star" ->
+          let variant =
+            if stage = "briggs" then Baseline.Ig_coalesce.Briggs
+            else Baseline.Ig_coalesce.Briggs_star
+          in
+          let f = Ssa.Construct.run_exn f in
+          let f = Ir.Edge_split.run f in
+          let f = Ssa.Destruct_naive.run_exn f in
+          let f, stats = Baseline.Ig_coalesce.run ~variant f in
+          Ir.Validate.check_exn f;
+          print_func (f.Ir.name ^ " (" ^ stage ^ ")") f;
+          Printf.printf "rounds=%d coalesced=%d remaining-copies=%d\n"
+            stats.rounds stats.coalesced stats.copies_remaining
+        | _ -> assert false)
+      (load path)
+  in
+  Cmd.v
+    (Cmd.info "dump" ~doc:"Show the IR of a pipeline stage")
+    Term.(const run $ path $ stage)
+
+let run_cmd =
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let args =
+    Arg.(value & opt (list float) [] & info [ "args" ] ~doc:"Arguments (floats).")
+  in
+  let pipeline =
+    Arg.(
+      value
+      & opt (enum [ ("cfg", `Cfg); ("standard", `Standard); ("new", `New) ]) `Cfg
+      & info [ "pipeline" ] ~doc:"Which code to execute.")
+  in
+  let run path args pipeline =
+    let vals =
+      List.map
+        (fun x ->
+          if Float.is_integer x then Ir.Int (int_of_float x) else Ir.Float x)
+        args
+    in
+    List.iter
+      (fun f ->
+        let f =
+          match pipeline with
+          | `Cfg -> f
+          | `Standard ->
+            Ssa.Destruct_naive.run_exn
+              (Ir.Edge_split.run (Ssa.Construct.run_exn f))
+          | `New -> Core.Coalesce.run_exn (Ssa.Construct.run_exn f)
+        in
+        let o = Interp.run ~args:vals f in
+        Printf.printf "%s: returned %s; %d instructions, %d copies executed\n"
+          f.Ir.name
+          (match o.return_value with
+          | Some v -> Format.asprintf "%a" Ir.Printer.pp_value v
+          | None -> "(nothing)")
+          o.stats.instrs_executed o.stats.copies_executed)
+      (load path)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Interpret a program and report dynamic statistics")
+    Term.(const run $ path $ args $ pipeline)
+
+let compare_cmd =
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let run path =
+    Printf.printf "%-16s %10s %10s %10s %10s\n" "function" "standard" "new"
+      "briggs" "briggs*";
+    List.iter
+      (fun f ->
+        let ssa = Ssa.Construct.run_exn f in
+        let standard =
+          Ssa.Destruct_naive.run_exn (Ir.Edge_split.run ssa)
+        in
+        let new_ = Core.Coalesce.run_exn ssa in
+        let briggs =
+          Baseline.Ig_coalesce.run_exn ~variant:Baseline.Ig_coalesce.Briggs standard
+        in
+        let briggs_star =
+          Baseline.Ig_coalesce.run_exn ~variant:Baseline.Ig_coalesce.Briggs_star
+            standard
+        in
+        Printf.printf "%-16s %10d %10d %10d %10d\n" f.Ir.name
+          (Ir.count_copies standard) (Ir.count_copies new_)
+          (Ir.count_copies briggs) (Ir.count_copies briggs_star))
+      (load path)
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Static copy counts for all four pipelines")
+    Term.(const run $ path)
+
+let alloc_cmd =
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let k = Arg.(value & opt int 8 & info [ "k" ] ~doc:"Number of registers.") in
+  let args =
+    Arg.(value & opt (list float) [] & info [ "args" ] ~doc:"Arguments (floats).")
+  in
+  let run path k args =
+    let vals =
+      List.map
+        (fun x ->
+          if Float.is_integer x then Ir.Int (int_of_float x) else Ir.Float x)
+        args
+    in
+    List.iter
+      (fun f ->
+        let coalesced = Core.Coalesce.run_exn (Ssa.Construct.run_exn f) in
+        let r =
+          Regalloc.run
+            ~options:{ Regalloc.default_options with registers = k }
+            coalesced
+        in
+        print_func
+          (Printf.sprintf "%s (allocated to %d registers)" f.Ir.name
+             r.stats.colors_used)
+          r.func;
+        Printf.printf "rounds=%d spilled=%d loads=%d stores=%d\n" r.stats.rounds
+          r.stats.spilled_ranges r.stats.spill_loads r.stats.spill_stores;
+        if vals <> [] then begin
+          let before = Interp.run ~args:vals f in
+          let after = Interp.run ~args:vals r.func in
+          let same =
+            before.return_value = after.return_value
+            && List.remove_assoc Regalloc.spill_array after.arrays = before.arrays
+          in
+          Printf.printf "semantics preserved: %b\n" same
+        end)
+      (load path)
+  in
+  Cmd.v
+    (Cmd.info "alloc"
+       ~doc:"Coalesce and then run the Chaitin/Briggs register allocator")
+    Term.(const run $ path $ k $ args)
+
+let opt_cmd =
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let simplify = Arg.(value & flag & info [ "simplify" ] ~doc:"Run Ssa.Simplify.") in
+  let dce = Arg.(value & flag & info [ "dce" ] ~doc:"Run Ssa.Dce.") in
+  let k =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "registers" ] ~doc:"Finish with a $(docv)-register allocation."
+          ~docv:"K")
+  in
+  let conversion =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("new", Driver.Pipeline.Coalescing Core.Coalesce.default_options);
+               ("standard", Driver.Pipeline.Standard);
+               ("briggs", Driver.Pipeline.Graph Baseline.Ig_coalesce.Briggs);
+               ("briggs-star", Driver.Pipeline.Graph Baseline.Ig_coalesce.Briggs_star);
+             ])
+          (Driver.Pipeline.Coalescing Core.Coalesce.default_options)
+      & info [ "via" ] ~doc:"SSA-to-CFG conversion: new|standard|briggs|briggs-star.")
+  in
+  let run path simplify dce registers conversion =
+    let config =
+      { Driver.Pipeline.default with simplify; dce; registers; conversion }
+    in
+    List.iter
+      (fun f ->
+        let r = Driver.Pipeline.compile ~config f in
+        print_func (f.Ir.name ^ " (optimized)") r.output;
+        Format.printf "%a@." Driver.Pipeline.pp_report r)
+      (load path)
+  in
+  Cmd.v
+    (Cmd.info "opt" ~doc:"Run the whole configurable backend pipeline")
+    Term.(const run $ path $ simplify $ dce $ k $ conversion)
+
+let dot_cmd =
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let what =
+    Arg.(
+      value
+      & opt (enum [ ("cfg", `Cfg); ("domtree", `Domtree) ]) `Cfg
+      & info [ "graph" ] ~doc:"Which graph to emit: cfg or domtree.")
+  in
+  let ssa = Arg.(value & flag & info [ "ssa" ] ~doc:"Convert to SSA first.") in
+  let run path what ssa =
+    List.iter
+      (fun f ->
+        let f = if ssa then Ssa.Construct.run_exn f else f in
+        print_string
+          (match what with
+          | `Cfg -> Ir.Dot.cfg f
+          | `Domtree -> Ir.Dot.dominator_tree f))
+      (load path)
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Emit Graphviz for the CFG or the dominator tree")
+    Term.(const run $ path $ what $ ssa)
+
+let () =
+  let doc = "fast copy coalescing and live-range identification (PLDI 2002)" in
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "repro-cli" ~doc)
+          [ dump_cmd; run_cmd; compare_cmd; alloc_cmd; opt_cmd; dot_cmd ]))

@@ -1,0 +1,1 @@
+examples/jit_pipeline.ml: Core Interp Ir List Printf Regalloc Ssa String Sys Workloads

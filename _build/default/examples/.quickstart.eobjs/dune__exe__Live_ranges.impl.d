@@ -1,0 +1,1 @@
+examples/live_ranges.ml: Analysis Array Core Format Frontend Ir List Printf Ssa String

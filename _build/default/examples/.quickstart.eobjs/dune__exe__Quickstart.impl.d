@@ -1,0 +1,1 @@
+examples/quickstart.ml: Core Driver Format Frontend Interp Ir Printf Ssa

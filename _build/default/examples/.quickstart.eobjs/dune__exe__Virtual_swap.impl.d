@@ -1,0 +1,1 @@
+examples/virtual_swap.ml: Core Frontend Interp Ir List Printf Ssa

@@ -1,0 +1,1 @@
+lib/analysis/liveness.ml: Array Bitset Ir List Option Support

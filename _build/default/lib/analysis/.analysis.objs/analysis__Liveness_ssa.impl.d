@@ -1,0 +1,1 @@
+lib/analysis/liveness_ssa.ml: Array Bitset Hashtbl Ir List Option Support

@@ -1,0 +1,1 @@
+lib/analysis/liveness_ssa.mli: Ir Support

@@ -1,0 +1,129 @@
+module Cfg = Ir.Cfg
+
+type t = {
+  idom : int array;  (* idom.(l) = immediate dominator; entry maps to itself;
+                        -1 for unreachable blocks *)
+  entry : Ir.label;
+  children : Ir.label list array;
+  preorder : int array;  (* -1 for unreachable *)
+  max_preorder : int array;
+  dom_tree_order : Ir.label array;
+  frontier : Ir.label list array;
+  depth : int array;
+}
+
+(* Cooper–Harvey–Kennedy: intersect walks two fingers up the (partial) idom
+   chain using postorder numbers until they meet. *)
+let compute (f : Ir.func) cfg =
+  let n = Cfg.num_blocks cfg in
+  let entry = Cfg.entry cfg in
+  let po = Cfg.postorder cfg in
+  let po_num = Array.make n (-1) in
+  Array.iteri (fun i l -> po_num.(l) <- i) po;
+  let idom = Array.make n (-1) in
+  idom.(entry) <- entry;
+  let intersect b1 b2 =
+    let rec walk b1 b2 =
+      if b1 = b2 then b1
+      else if po_num.(b1) < po_num.(b2) then walk idom.(b1) b2
+      else walk b1 idom.(b2)
+    in
+    walk b1 b2
+  in
+  let rpo = Cfg.reverse_postorder cfg in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun b ->
+        if b <> entry then begin
+          let processed_preds =
+            List.filter (fun p -> idom.(p) <> -1) (Cfg.preds cfg b)
+          in
+          match processed_preds with
+          | [] -> ()
+          | p :: ps ->
+            let new_idom = List.fold_left intersect p ps in
+            if idom.(b) <> new_idom then begin
+              idom.(b) <- new_idom;
+              changed := true
+            end
+        end)
+      rpo
+  done;
+  (* Dominator-tree children, kept in reverse-postorder of the child so the
+     DFS below is deterministic. *)
+  let children = Array.make n [] in
+  Array.iter
+    (fun b ->
+      if b <> entry && idom.(b) <> -1 then
+        children.(idom.(b)) <- b :: children.(idom.(b)))
+    (Cfg.postorder cfg);
+  (* Preorder / max-preorder numbering of the dominator tree (iterative DFS;
+     on the way back up each node learns the largest preorder number reached
+     in its subtree — Tarjan's constant-time ancestry test). *)
+  let preorder = Array.make n (-1) in
+  let max_preorder = Array.make n (-1) in
+  let depth = Array.make n 0 in
+  let order = Support.Vec.create () in
+  let counter = ref 0 in
+  let rec dfs b d =
+    preorder.(b) <- !counter;
+    incr counter;
+    depth.(b) <- d;
+    Support.Vec.push order b;
+    List.iter (fun c -> dfs c (d + 1)) children.(b);
+    max_preorder.(b) <-
+      (match children.(b) with
+      | [] -> preorder.(b)
+      | _ -> !counter - 1)
+  in
+  dfs entry 0;
+  ignore f;
+  (* Dominance frontiers (CHK): for each join point, walk each predecessor's
+     idom chain up to (excluding) the join's idom. *)
+  let frontier = Array.make n [] in
+  Array.iter
+    (fun b ->
+      let preds = Cfg.preds cfg b in
+      if List.length preds >= 2 then
+        List.iter
+          (fun p ->
+            if idom.(p) <> -1 then begin
+              let runner = ref p in
+              while !runner <> idom.(b) do
+                if not (List.mem b frontier.(!runner)) then
+                  frontier.(!runner) <- b :: frontier.(!runner);
+                runner := idom.(!runner)
+              done
+            end)
+          preds)
+    rpo;
+  {
+    idom;
+    entry;
+    children;
+    preorder;
+    max_preorder;
+    dom_tree_order = Support.Vec.to_array order;
+    frontier;
+    depth;
+  }
+
+let idom t l =
+  if l = t.entry || t.idom.(l) = -1 then None else Some t.idom.(l)
+
+let children t l = t.children.(l)
+
+let dominates t a b =
+  t.preorder.(a) >= 0 && t.preorder.(b) >= 0
+  && t.preorder.(a) <= t.preorder.(b)
+  && t.preorder.(b) <= t.max_preorder.(a)
+
+let strictly_dominates t a b = a <> b && dominates t a b
+
+let preorder t l = t.preorder.(l)
+let max_preorder t l = t.max_preorder.(l)
+let dom_tree_order t = t.dom_tree_order
+let frontier t l = t.frontier.(l)
+let depth t l = t.depth.(l)

@@ -1,0 +1,41 @@
+(** Dominators, the dominator tree, and dominance frontiers.
+
+    Immediate dominators are computed with the Cooper–Harvey–Kennedy
+    iterative algorithm ("A Simple, Fast Dominance Algorithm"). On top of the
+    tree we compute the depth-first {e preorder} number of every block and
+    the {e maximum preorder number among its descendants} — Tarjan's trick
+    the paper uses (Section 3.2) to answer ancestry ("does block a dominate
+    block b?") in constant time, and the ordering key for dominance-forest
+    construction (Figure 1). *)
+
+type t
+
+val compute : Ir.func -> Ir.Cfg.t -> t
+
+val idom : t -> Ir.label -> Ir.label option
+(** Immediate dominator; [None] for the entry and for unreachable blocks. *)
+
+val children : t -> Ir.label -> Ir.label list
+(** Dominator-tree children, in increasing preorder. *)
+
+val dominates : t -> Ir.label -> Ir.label -> bool
+(** Reflexive dominance, O(1) via preorder intervals. False if either block
+    is unreachable. *)
+
+val strictly_dominates : t -> Ir.label -> Ir.label -> bool
+
+val preorder : t -> Ir.label -> int
+(** Preorder number in the dominator-tree DFS; -1 for unreachable blocks. *)
+
+val max_preorder : t -> Ir.label -> int
+(** Largest preorder number among the block's dominator-tree descendants
+    (including itself). *)
+
+val dom_tree_order : t -> Ir.label array
+(** All reachable blocks in dominator-tree preorder. *)
+
+val frontier : t -> Ir.label -> Ir.label list
+(** Dominance frontier, as needed for φ placement. *)
+
+val depth : t -> Ir.label -> int
+(** Depth in the dominator tree (entry = 0). *)

@@ -1,0 +1,84 @@
+open Support
+module Cfg = Ir.Cfg
+
+type t = {
+  live_in : Bitset.t array;
+  live_out : Bitset.t array;
+}
+
+let compute (f : Ir.func) cfg =
+  let n = Ir.num_blocks f in
+  let nr = f.nregs in
+  let live_in = Array.init n (fun _ -> Bitset.create nr) in
+  let live_out = Array.init n (fun _ -> Bitset.create nr) in
+  (* Upward-exposed uses and kills per block. φ arguments are charged to the
+     predecessor below, not here; φ targets are kills at the block top. *)
+  let gen = Array.init n (fun _ -> Bitset.create nr) in
+  let kill = Array.init n (fun _ -> Bitset.create nr) in
+  Array.iter
+    (fun (b : Ir.block) ->
+      let l = b.label in
+      List.iter (fun (p : Ir.phi) -> Bitset.add kill.(l) p.dst) b.phis;
+      List.iter
+        (fun i ->
+          List.iter
+            (fun r -> if not (Bitset.mem kill.(l) r) then Bitset.add gen.(l) r)
+            (Ir.uses i);
+          Option.iter (Bitset.add kill.(l)) (Ir.def i))
+        b.body;
+      List.iter
+        (fun r -> if not (Bitset.mem kill.(l) r) then Bitset.add gen.(l) r)
+        (Ir.term_uses b.term))
+    f.blocks;
+  (* φ argument registers, grouped by the predecessor they flow out of. *)
+  let phi_out = Array.init n (fun _ -> Bitset.create nr) in
+  Array.iter
+    (fun (b : Ir.block) ->
+      List.iter
+        (fun (p : Ir.phi) ->
+          List.iter
+            (fun (pl, op) ->
+              List.iter (Bitset.add phi_out.(pl)) (Ir.operand_uses op))
+            p.args)
+        b.phis)
+    f.blocks;
+  let po = Cfg.postorder cfg in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun l ->
+        (* live_out(l) = phi_out(l) ∪ ⋃ live_in(succ) *)
+        let out = Bitset.copy phi_out.(l) in
+        List.iter
+          (fun s -> ignore (Bitset.union_into ~dst:out live_in.(s)))
+          (Cfg.succs cfg l);
+        if not (Bitset.equal out live_out.(l)) then begin
+          Bitset.blit ~src:out ~dst:live_out.(l);
+          changed := true
+        end;
+        (* live_in(l) = gen(l) ∪ (live_out(l) \ kill(l)) *)
+        let inb = Bitset.copy out in
+        Bitset.diff_into ~dst:inb kill.(l);
+        ignore (Bitset.union_into ~dst:inb gen.(l));
+        if not (Bitset.equal inb live_in.(l)) then begin
+          Bitset.blit ~src:inb ~dst:live_in.(l);
+          changed := true
+        end)
+      po
+  done;
+  { live_in; live_out }
+
+let live_in t l = t.live_in.(l)
+let live_out t l = t.live_out.(l)
+let live_in_mem t l r = Bitset.mem t.live_in.(l) r
+let live_out_mem t l r = Bitset.mem t.live_out.(l) r
+
+let memory_bytes t =
+  Array.fold_left (fun acc s -> acc + Bitset.memory_bytes s) 0 t.live_in
+  + Array.fold_left (fun acc s -> acc + Bitset.memory_bytes s) 0 t.live_out
+
+let interfere_at_bounds t v1 b1 v2 b2 =
+  ignore b1;
+  ignore b2;
+  Bitset.mem t.live_in.(b2) v1 || Bitset.mem t.live_in.(b1) v2

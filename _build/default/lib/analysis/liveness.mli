@@ -1,0 +1,33 @@
+(** Iterative bit-vector liveness over the CFG, φ-aware.
+
+    As required by the paper (Section 3.1), the analysis distinguishes values
+    that flow into a block's φ-nodes from values flowing to ordinary uses:
+
+    - a φ argument is a use {e at the end of the corresponding predecessor}
+      (it travels along the edge, so it is in the predecessor's live-out but
+      {e not} in the φ block's live-in);
+    - a φ definition kills its target at the top of its block (the target is
+      not live-in either).
+
+    On φ-free (non-SSA) code this is ordinary liveness. *)
+
+type t
+
+val compute : Ir.func -> Ir.Cfg.t -> t
+
+val live_in : t -> Ir.label -> Support.Bitset.t
+(** Do not mutate the returned set. *)
+
+val live_out : t -> Ir.label -> Support.Bitset.t
+
+val live_in_mem : t -> Ir.label -> Ir.reg -> bool
+val live_out_mem : t -> Ir.label -> Ir.reg -> bool
+
+val memory_bytes : t -> int
+(** Total bytes of the live-in/live-out bit vectors, for the memory
+    accounting experiments. *)
+
+val interfere_at_bounds : t -> Ir.reg -> Ir.label -> Ir.reg -> Ir.label -> bool
+(** [interfere_at_bounds t v1 b1 v2 b2], with [b1]/[b2] the defining blocks:
+    Theorem 2.2's block-boundary test — [v1] live-in at [b2]'s head (or vice
+    versa). Same-block and intra-block overlaps are {e not} detected here. *)

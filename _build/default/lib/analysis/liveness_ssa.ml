@@ -1,0 +1,79 @@
+open Support
+module Cfg = Ir.Cfg
+
+type t = {
+  live_in : Bitset.t array;
+  live_out : Bitset.t array;
+}
+
+let compute (f : Ir.func) cfg =
+  let n = Ir.num_blocks f in
+  let nr = f.nregs in
+  let live_in = Array.init n (fun _ -> Bitset.create nr) in
+  let live_out = Array.init n (fun _ -> Bitset.create nr) in
+  (* Defining block of every register. Parameters keep -1: the dataflow
+     version has no kill for them in the entry, so they appear in the
+     entry's live-in when used — match that convention. *)
+  let def_block = Array.make nr (-1) in
+  Array.iter
+    (fun (b : Ir.block) ->
+      List.iter (fun (p : Ir.phi) -> def_block.(p.dst) <- b.label) b.phis;
+      List.iter
+        (fun i -> Option.iter (fun d -> def_block.(d) <- b.label) (Ir.def i))
+        b.body)
+    f.blocks;
+  (* Walk v live-in at block l upward through the predecessors until its
+     defining block stops the walk (the def does not make v live-in). *)
+  let rec mark_live_in v l =
+    if
+      Cfg.reachable cfg l && def_block.(v) <> l
+      && not (Bitset.mem live_in.(l) v)
+    then begin
+      Bitset.add live_in.(l) v;
+      List.iter (fun p -> mark_live_out v p) (Cfg.preds cfg l)
+    end
+  and mark_live_out v l =
+    if Cfg.reachable cfg l && not (Bitset.mem live_out.(l) v) then begin
+      Bitset.add live_out.(l) v;
+      if def_block.(v) <> l then mark_live_in_force v l
+    end
+  and mark_live_in_force v l =
+    if not (Bitset.mem live_in.(l) v) then begin
+      Bitset.add live_in.(l) v;
+      List.iter (fun p -> mark_live_out v p) (Cfg.preds cfg l)
+    end
+  in
+  Array.iter
+    (fun (b : Ir.block) ->
+      if Cfg.reachable cfg b.label then begin
+        (* φ arguments are uses at the end of the predecessor. *)
+        List.iter
+          (fun (p : Ir.phi) ->
+            List.iter
+              (fun (pl, op) ->
+                List.iter (fun v -> mark_live_out v pl) (Ir.operand_uses op))
+              p.args)
+          b.phis;
+        (* Ordinary uses are live into this block unless defined here
+           earlier; the backward scan finds upward-exposed ones. *)
+        let killed = Hashtbl.create 8 in
+        List.iter (fun (p : Ir.phi) -> Hashtbl.replace killed p.dst ()) b.phis;
+        List.iter
+          (fun i ->
+            List.iter
+              (fun v ->
+                if not (Hashtbl.mem killed v) then mark_live_in v b.label)
+              (Ir.uses i);
+            Option.iter (fun d -> Hashtbl.replace killed d ()) (Ir.def i))
+          b.body;
+        List.iter
+          (fun v -> if not (Hashtbl.mem killed v) then mark_live_in v b.label)
+          (Ir.term_uses b.term)
+      end)
+    f.blocks;
+  { live_in; live_out }
+
+let live_in t l = t.live_in.(l)
+let live_out t l = t.live_out.(l)
+let live_in_mem t l r = Bitset.mem t.live_in.(l) r
+let live_out_mem t l r = Bitset.mem t.live_out.(l) r

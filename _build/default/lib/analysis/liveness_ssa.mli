@@ -1,0 +1,20 @@
+(** Liveness on SSA form computed by use-chain walking (à la Boissinot et
+    al., "Fast liveness checking for SSA-form programs"): for every use, the
+    variable is propagated live backwards from the use block up to (but not
+    into) its defining block, with φ uses starting at the end of the
+    corresponding predecessor.
+
+    This is a second, independently-derived implementation of the same sets
+    as {!Liveness} on SSA input — the test suite checks they agree, giving
+    the liveness the coalescer trusts a cross-implementation oracle. It is
+    only correct for {e regular SSA} programs (unique defs dominating their
+    uses); the dataflow version remains the one used on arbitrary code. *)
+
+type t
+
+val compute : Ir.func -> Ir.Cfg.t -> t
+
+val live_in : t -> Ir.label -> Support.Bitset.t
+val live_out : t -> Ir.label -> Support.Bitset.t
+val live_in_mem : t -> Ir.label -> Ir.reg -> bool
+val live_out_mem : t -> Ir.label -> Ir.reg -> bool

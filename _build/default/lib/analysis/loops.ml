@@ -1,0 +1,59 @@
+module Cfg = Ir.Cfg
+
+type t = {
+  depth : int array;
+  headers : Ir.label list;
+}
+
+let compute cfg dom =
+  let n = Cfg.num_blocks cfg in
+  let depth = Array.make n 0 in
+  let headers = ref [] in
+  (* For each back edge t → h, the natural loop body is h plus everything
+     that reaches t without passing through h. *)
+  let loop_of t h =
+    let in_loop = Array.make n false in
+    in_loop.(h) <- true;
+    let stack = ref [ t ] in
+    while !stack <> [] do
+      match !stack with
+      | [] -> ()
+      | b :: rest ->
+        stack := rest;
+        if not in_loop.(b) then begin
+          in_loop.(b) <- true;
+          List.iter (fun p -> stack := p :: !stack) (Cfg.preds cfg b)
+        end
+    done;
+    in_loop
+  in
+  (* Back edges sharing a header form one loop: merge their bodies before
+     counting depth, otherwise e.g. a while-loop with a `continue` would
+     count double. *)
+  let back_edges = Hashtbl.create 8 in
+  for t = 0 to n - 1 do
+    if Cfg.reachable cfg t then
+      List.iter
+        (fun h ->
+          if Dominance.dominates dom h t then begin
+            let tails = try Hashtbl.find back_edges h with Not_found -> [] in
+            Hashtbl.replace back_edges h (t :: tails)
+          end)
+        (Cfg.succs cfg t)
+  done;
+  Hashtbl.iter
+    (fun h tails ->
+      headers := h :: !headers;
+      let body = Array.make n false in
+      List.iter
+        (fun t ->
+          let part = loop_of t h in
+          Array.iteri (fun b inside -> if inside then body.(b) <- true) part)
+        tails;
+      Array.iteri (fun b inside -> if inside then depth.(b) <- depth.(b) + 1) body)
+    back_edges;
+  { depth; headers = List.sort compare !headers }
+
+let depth t l = t.depth.(l)
+let num_loops t = List.length t.headers
+let headers t = t.headers

@@ -1,0 +1,20 @@
+(** Natural loops and loop-nesting depth.
+
+    The Briggs-style coalescer processes copies innermost-loop-first (the
+    heuristic the paper discusses around Table 4), and the register
+    allocator's spill costs weight uses by 10^depth; both need the nesting
+    depth of every block. Loops are recognized as natural loops of back
+    edges (t → h with h dominating t); irreducible flow simply contributes
+    no back edge and therefore no depth. *)
+
+type t
+
+val compute : Ir.Cfg.t -> Dominance.t -> t
+
+val depth : t -> Ir.label -> int
+(** Number of natural loop bodies containing the block; 0 outside loops. *)
+
+val num_loops : t -> int
+
+val headers : t -> Ir.label list
+(** Loop header blocks, ascending. *)

@@ -1,0 +1,1 @@
+lib/baseline/ig_coalesce.ml: Analysis Array Igraph Ir List Support Union_find

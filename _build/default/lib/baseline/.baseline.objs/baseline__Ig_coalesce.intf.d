@@ -1,0 +1,1 @@
+lib/baseline/ig_coalesce.mli: Ir

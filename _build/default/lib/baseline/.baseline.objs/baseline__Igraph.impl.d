@@ -1,0 +1,1 @@
+lib/baseline/igraph.ml: Analysis Array Bit_matrix Bitset Ir List Support

@@ -1,0 +1,1 @@
+lib/baseline/igraph.mli: Analysis Ir

@@ -1,0 +1,1 @@
+lib/baseline/sreedhar.ml: Array Ir List Printf Support

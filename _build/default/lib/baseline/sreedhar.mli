@@ -1,0 +1,24 @@
+(** Sreedhar et al.'s Method I translation out of SSA ("Translating out of
+    static single assignment form", SAS 1999) — the correct-by-construction
+    alternative that later SSA-destruction work (e.g. Boissinot et al. 2009)
+    compares the paper's algorithm against.
+
+    For each φ-node [a0 := φ(a1:L1 … an:Ln)] a fresh congruence name N is
+    minted; every predecessor Li gets [N := ai] appended, and the φ's block
+    gets [a0 := N] prepended. Because every inserted destination is fresh,
+    the class {N} trivially never interferes with anything at the insertion
+    points: no critical-edge splitting, no parallel-copy sequentialization,
+    no interference analysis — at the price of n+1 copies per φ, even more
+    than naive instantiation. It is the safety floor the smarter algorithms
+    must beat. *)
+
+type stats = {
+  copies_inserted : int;
+  names_introduced : int;
+}
+
+val run : Ir.func -> Ir.func * stats
+(** Remove all φ-nodes. Works on any valid SSA function, critical edges
+    split or not. *)
+
+val run_exn : Ir.func -> Ir.func

@@ -1,0 +1,1 @@
+lib/core/dominance_forest.ml: Analysis Array Format Ir List

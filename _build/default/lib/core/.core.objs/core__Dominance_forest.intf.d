@@ -1,0 +1,1 @@
+lib/core/dominance_forest.mli: Analysis Format Ir

@@ -1,0 +1,1 @@
+lib/core/interference.ml: Analysis Array Bitset Ir List Option Printf Support

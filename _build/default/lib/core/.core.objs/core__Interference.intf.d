@@ -1,0 +1,1 @@
+lib/core/interference.mli: Analysis Ir

@@ -1,0 +1,400 @@
+open Support
+module Cfg = Ir.Cfg
+module Dominance = Analysis.Dominance
+module Liveness = Analysis.Liveness
+module DF = Dominance_forest
+
+type options = {
+  use_filters : bool;
+  victim_heuristic : bool;
+}
+
+let default_options = { use_filters = true; victim_heuristic = true }
+
+type stats = {
+  classes : int;
+  class_members : int;
+  filter_refusals : int;
+  const_args : int;
+  rename_detached : int;
+  forest_detached : int;
+  local_pairs : int;
+  local_detached : int;
+  copies_inserted : int;
+  temps_inserted : int;
+  aux_memory_bytes : int;
+}
+
+(* Result of the analysis half: a renaming of registers to class names plus
+   the counters that end up in [stats]. *)
+type analysis = {
+  rename : int array;
+  final_classes : Ir.reg list list;
+  a_classes : int;
+  a_members : int;
+  a_filter_refusals : int;
+  a_const_args : int;
+  a_rename_detached : int;
+  a_forest_detached : int;
+  a_local_pairs : int;
+  a_local_detached : int;
+  a_memory : int;
+}
+
+let analyze ~options (f : Ir.func) : analysis =
+  let cfg = Cfg.of_func f in
+  let dom = Dominance.compute f cfg in
+  let live = Liveness.compute f cfg in
+  let sites = Interference.def_sites f in
+  let site r =
+    match sites.(r) with
+    | Some s -> s
+    | None -> invalid_arg "Coalesce: phi references an undefined register"
+  in
+  let is_phi_dst = Array.make f.nregs false in
+  Ir.iter_phis f (fun _ p -> is_phi_dst.(p.dst) <- true);
+  (* Copy-cost estimate used by the victim rule: how many copies would
+     detaching this name cause? One per argument position it occupies, and
+     one per φ-edge for each φ it is the target of. *)
+  let cost = Array.make f.nregs 0 in
+  Ir.iter_phis f (fun _ p ->
+      cost.(p.dst) <- cost.(p.dst) + List.length p.args;
+      List.iter
+        (fun (_, op) ->
+          List.iter (fun a -> cost.(a) <- cost.(a) + 1) (Ir.operand_uses op))
+        p.args);
+  let uf = Union_find.create f.nregs in
+  let filter_refusals = ref 0 in
+  let const_args = ref 0 in
+  (* Phase 1 — build initial live ranges (Section 3.1): union φ targets with
+     arguments, refusing positions the five filters prove interfering. *)
+  Array.iter
+    (fun l ->
+      let b = f.blocks.(l) in
+      let processed_dsts = ref [] in
+      List.iter
+        (fun (p : Ir.phi) ->
+          let d = p.dst in
+          (* Defining blocks of arguments already unioned into this φ (for
+             filter 5: two arguments defined in the same block are both live
+             at its end, hence interfere). The target's own block is NOT
+             seeded: an argument defined in the φ's block — the classic
+             loop-increment i2 := i1 + 1 feeding i1's φ — usually does not
+             interfere with the target, and the local pass checks it. *)
+          let seen_blocks = Hashtbl.create 4 in
+          List.iter
+            (fun (_pl, op) ->
+              match op with
+              | Ir.Const _ -> incr const_args
+              | Ir.Reg a ->
+                if Union_find.same uf a d then
+                  Hashtbl.replace seen_blocks (site a).Interference.block ()
+                else begin
+                  let sa = site a in
+                  let refuse =
+                    options.use_filters
+                    && ((* 1. the argument flows past the φ into b itself *)
+                        Liveness.live_in_mem live l a
+                       || (* 2. the target is live out of the argument's
+                             defining block *)
+                       Liveness.live_out_mem live sa.Interference.block d
+                       || (* 3. argument is a φ whose block the target is
+                             live into *)
+                       (is_phi_dst.(a)
+                       && Liveness.live_in_mem live sa.Interference.block d)
+                       || (* 4. argument already joined another φ of this
+                             block *)
+                       List.exists (fun d' -> Union_find.same uf a d') !processed_dsts
+                       || (* 5. two arguments defined in the same block *)
+                       Hashtbl.mem seen_blocks sa.Interference.block)
+                  in
+                  if refuse then incr filter_refusals
+                  else begin
+                    ignore (Union_find.union uf d a);
+                    Hashtbl.replace seen_blocks sa.Interference.block ()
+                  end
+                end)
+            p.args;
+          processed_dsts := d :: !processed_dsts)
+        b.phis)
+    (Cfg.reverse_postorder cfg);
+  (* Phase 2 — materialize the congruence classes. *)
+  let groups = Union_find.groups uf in
+  let detached = Array.make f.nregs false in
+  (* Phase 2.5 — rename invariant: a block may contribute at most one φ
+     target per class, otherwise rewriting both φs to the class name would
+     define it twice in parallel (the interference renaming exposes,
+     Section 3.6.1). *)
+  let rename_detached = ref 0 in
+  let in_group = Array.make f.nregs false in
+  List.iter
+    (fun (_, members) -> List.iter (fun m -> in_group.(m) <- true) members)
+    groups;
+  Array.iter
+    (fun (b : Ir.block) ->
+      let seen = Hashtbl.create 4 in
+      List.iter
+        (fun (p : Ir.phi) ->
+          if in_group.(p.dst) then begin
+            let root = Union_find.find uf p.dst in
+            if Hashtbl.mem seen root then begin
+              detached.(p.dst) <- true;
+              incr rename_detached
+            end
+            else Hashtbl.add seen root ()
+          end)
+        b.phis)
+    f.blocks;
+  (* Phase 3 — dominance forests and the Figure-2 walk. *)
+  let dbg = Sys.getenv_opt "COALESCE_DEBUG" <> None in
+  let forest_detached = ref 0 in
+  let local_pairs = ref [] in
+  let n_local_pairs = ref 0 in
+  let total_forest_nodes = ref 0 in
+  let definite (pvar : Ir.reg) (c : DF.node) = Liveness.live_out_mem live c.block pvar in
+  let potential (p : DF.node) (c : DF.node) =
+    definite p.var c
+    || Liveness.live_in_mem live c.block p.var
+    || p.block = c.block
+  in
+  List.iter
+    (fun (_, members) ->
+      let attached =
+        List.filter_map
+          (fun m ->
+            if detached.(m) then None
+            else
+              let s = site m in
+              Some (m, s.Interference.block, s.Interference.index))
+          members
+      in
+      let forest = DF.build dom attached in
+      total_forest_nodes := !total_forest_nodes + DF.size forest;
+      let rec process_node (node : DF.node) =
+        let queue = ref node.children in
+        let rec drain () =
+          match !queue with
+          | [] -> ()
+          | c :: rest ->
+            queue := rest;
+            if dbg then
+              Printf.eprintf "check %s(b%d) vs %s(b%d): det=%b definite=%b\n"
+                (Ir.reg_name f node.var) node.block (Ir.reg_name f c.var) c.block
+                detached.(node.var) (definite node.var c);
+            if detached.(node.var) then begin
+              (* The parent fell earlier: the child roots its own subtree,
+                 and the remaining children must still be drained. *)
+              process_node c;
+              drain ()
+            end
+            else if definite node.var c then begin
+              let others_clean =
+                not
+                  (List.exists
+                     (fun c' ->
+                       c' != c && (not detached.(c'.var)) && potential node c')
+                     node.children)
+              in
+              if
+                options.victim_heuristic && others_clean
+                && cost.(c.var) < cost.(node.var)
+              then begin
+                detached.(c.var) <- true;
+                incr forest_detached;
+                (* c's children become node's children (Figure 2). *)
+                queue := c.children @ !queue;
+                node.children <-
+                  List.filter (fun x -> x != c) node.children @ c.children
+              end
+              else begin
+                detached.(node.var) <- true;
+                incr forest_detached;
+                process_node c
+              end;
+              drain ()
+            end
+            else begin
+              if Liveness.live_in_mem live c.block node.var || node.block = c.block
+              then begin
+                local_pairs := (node.var, c) :: !local_pairs;
+                incr n_local_pairs
+              end;
+              process_node c;
+              drain ()
+            end
+        in
+        drain ()
+      in
+      List.iter process_node forest)
+    groups;
+  (* Phase 4 — local interferences (Section 3.4): one backward walk per
+     deferred pair, from the dominated definition's block. *)
+  let local_detached = ref 0 in
+  (* Victim choice here is constrained by Lemma 3.1: interference facts
+     transfer only along chains of still-attached members, so removing the
+     child is legitimate only when it has no attached forest descendants
+     left to stand between the parent and deeper members — i.e. when it is
+     an (effective) leaf. Otherwise the parent must go: any interference it
+     had with a deeper member implied this very (parent, child) pair.
+     Pairs are processed in discovery (DFS) order so ancestors fall before
+     their descendants' pairs are consulted. *)
+  let rec has_attached_descendant (n : DF.node) =
+    List.exists
+      (fun (c : DF.node) -> (not detached.(c.var)) || has_attached_descendant c)
+      n.children
+  in
+  List.iter
+    (fun (pvar, (c : DF.node)) ->
+      if (not detached.(pvar)) && not detached.(c.var) then begin
+        let at = { Interference.block = c.block; index = c.def_index } in
+        let hit = Interference.live_just_after f live ~reg:pvar ~at in
+        if dbg then
+          Printf.eprintf "local %s vs %s(b%d,%d): %b\n" (Ir.reg_name f pvar)
+            (Ir.reg_name f c.var) c.block c.def_index hit;
+        if hit then begin
+          let victim =
+            if
+              options.victim_heuristic
+              && cost.(c.var) < cost.(pvar)
+              && not (has_attached_descendant c)
+            then c.var
+            else pvar
+          in
+          detached.(victim) <- true;
+          incr local_detached
+        end
+      end)
+    (List.rev !local_pairs);
+  (* Phase 5 — renaming (Section 3.5): one name per class. *)
+  let rename = Array.init f.nregs (fun r -> r) in
+  let final_classes = ref [] in
+  let n_classes = ref 0 in
+  let n_members = ref 0 in
+  List.iter
+    (fun (_, members) ->
+      match List.filter (fun m -> not detached.(m)) members with
+      | [] | [ _ ] -> ()
+      | leader :: _ as attached ->
+        incr n_classes;
+        n_members := !n_members + List.length attached;
+        final_classes := attached :: !final_classes;
+        List.iter (fun m -> rename.(m) <- leader) attached)
+    groups;
+  let memory =
+    Liveness.memory_bytes live
+    + (16 * f.nregs) (* union-find parent + rank *)
+    + (40 * !total_forest_nodes)
+    + (24 * !n_local_pairs)
+  in
+  {
+    rename;
+    final_classes = !final_classes;
+    a_classes = !n_classes;
+    a_members = !n_members;
+    a_filter_refusals = !filter_refusals;
+    a_const_args = !const_args;
+    a_rename_detached = !rename_detached;
+    a_forest_detached = !forest_detached;
+    a_local_pairs = !n_local_pairs;
+    a_local_detached = !local_detached;
+    a_memory = memory;
+  }
+
+let rewrite (f : Ir.func) (a : analysis) =
+  let cfg = Cfg.of_func f in
+  let rename r = a.rename.(r) in
+  let rename_op = function
+    | Ir.Reg r -> Ir.Reg (rename r)
+    | Ir.Const _ as c -> c
+  in
+  let next = ref f.nregs in
+  let hints = ref f.hints in
+  let temps = ref 0 in
+  let fresh ?name () =
+    let r = !next in
+    incr next;
+    incr temps;
+    (match name with
+    | Some s -> hints := Imap.add r (Printf.sprintf "%s%d" s r) !hints
+    | None -> ());
+    r
+  in
+  (* The Waiting lists (Section 3.6): pending copies per edge. With critical
+     edges split, each edge either leaves a single-successor block (place at
+     its end) or enters a single-predecessor block (place at its start). *)
+  let at_end : Ssa.Parallel_copy.move list array = Array.make (Ir.num_blocks f) [] in
+  let at_start : Ssa.Parallel_copy.move list array = Array.make (Ir.num_blocks f) [] in
+  Array.iter
+    (fun (b : Ir.block) ->
+      if Cfg.reachable cfg b.label then
+        List.iter
+          (fun (p : Ir.phi) ->
+            let d = rename p.dst in
+            List.iter
+              (fun (pl, op) ->
+                let src = rename_op op in
+                if src <> Ir.Reg d then begin
+                  let move = { Ssa.Parallel_copy.dst = d; src } in
+                  match Cfg.succs cfg pl with
+                  | [ _ ] -> at_end.(pl) <- move :: at_end.(pl)
+                  | _ ->
+                    (* pl branches; the edge is non-critical, so b has a
+                       single predecessor and the copy can sit at b's top. *)
+                    assert (Cfg.preds cfg b.label = [ pl ]);
+                    at_start.(b.label) <- move :: at_start.(b.label)
+                end)
+              p.args)
+          b.phis)
+    f.blocks;
+  let copies = ref 0 in
+  let seq moves =
+    match moves with
+    | [] -> []
+    | _ ->
+      let instrs = Ssa.Parallel_copy.sequentialize ~fresh (List.rev moves) in
+      copies := !copies + List.length instrs;
+      instrs
+  in
+  let blocks =
+    Array.map
+      (fun (b : Ir.block) ->
+        let body =
+          List.map
+            (fun i ->
+              Ir.map_instr_def rename (Ir.map_instr_uses (fun r -> Ir.Reg (rename r)) i))
+            b.body
+        in
+        let body = seq at_start.(b.label) @ body @ seq at_end.(b.label) in
+        let term = Ir.map_term_uses (fun r -> Ir.Reg (rename r)) b.term in
+        { b with phis = []; body; term })
+      f.blocks
+  in
+  let params = List.map rename f.params in
+  ( { f with params; blocks; nregs = !next; hints = !hints },
+    !copies,
+    !temps )
+
+let run ?(options = default_options) (f : Ir.func) =
+  let f = Ir.Edge_split.run f in
+  let a = analyze ~options f in
+  let f', copies, temps = rewrite f a in
+  ( f',
+    {
+      classes = a.a_classes;
+      class_members = a.a_members;
+      filter_refusals = a.a_filter_refusals;
+      const_args = a.a_const_args;
+      rename_detached = a.a_rename_detached;
+      forest_detached = a.a_forest_detached;
+      local_pairs = a.a_local_pairs;
+      local_detached = a.a_local_detached;
+      copies_inserted = copies;
+      temps_inserted = temps;
+      aux_memory_bytes = a.a_memory;
+    } )
+
+let run_exn ?options f = fst (run ?options f)
+
+let congruence_classes ?(options = default_options) (f : Ir.func) =
+  let f = Ir.Edge_split.run f in
+  (analyze ~options f).final_classes

@@ -1,0 +1,105 @@
+module Dominance = Analysis.Dominance
+
+type node = {
+  var : Ir.reg;
+  block : Ir.label;
+  def_index : int;
+  mutable children : node list;
+}
+
+type t = node list
+
+(* The paper sorts set members by preorder number with a radix sort to keep
+   construction linear (Section 3.7: "the number of variables in the join
+   set cannot be greater than the number of basic blocks"). We bucket-sort
+   by preorder — one bucket per preorder number — and order the (rare)
+   same-block members by definition index inside their bucket. O(|S| +
+   max preorder), and the preorder table is computed once per function. *)
+let sort_members dom members =
+  let maxpre =
+    List.fold_left (fun m (_, b, _) -> max m (Dominance.preorder dom b)) 0 members
+  in
+  let buckets = Array.make (maxpre + 1) [] in
+  (* Fill in reverse so each bucket comes out in input order. *)
+  List.iter
+    (fun ((_, b, _) as m) ->
+      let p = Dominance.preorder dom b in
+      buckets.(p) <- m :: buckets.(p))
+    (List.rev members);
+  let out = ref [] in
+  for p = maxpre downto 0 do
+    match buckets.(p) with
+    | [] -> ()
+    | [ m ] -> out := m :: !out
+    | bucket ->
+      (* Same block: order by definition index; buckets are tiny. *)
+      out :=
+        List.sort (fun (_, _, i1) (_, _, i2) -> compare i1 i2) bucket @ !out
+  done;
+  !out
+
+(* Figure 1 of the paper, with the VirtualRoot replaced by an empty stack:
+   members are taken in increasing preorder; the stack holds the current
+   chain of open ancestors; a member whose preorder exceeds the max-preorder
+   of the stack top cannot be dominated by it, so the top is closed. *)
+let build dom members =
+  let sorted = sort_members dom members in
+  List.iter
+    (fun (_, b, _) ->
+      if Dominance.preorder dom b < 0 then
+        invalid_arg "Dominance_forest.build: unreachable defining block")
+    sorted;
+  let roots = ref [] in
+  let stack = ref [] in
+  List.iter
+    (fun (var, block, def_index) ->
+      let n = { var; block; def_index; children = [] } in
+      let pre = Dominance.preorder dom block in
+      let rec close () =
+        match !stack with
+        | top :: rest when pre > Dominance.max_preorder dom top.block ->
+          stack := rest;
+          close ()
+        | _ -> ()
+      in
+      close ();
+      (match !stack with
+      | [] -> roots := n :: !roots
+      | parent :: _ -> parent.children <- n :: parent.children);
+      stack := n :: !stack)
+    sorted;
+  let rec reverse_children n =
+    n.children <- List.rev n.children;
+    List.iter reverse_children n.children
+  in
+  let roots = List.rev !roots in
+  List.iter reverse_children roots;
+  roots
+
+let iter_edges t f =
+  let rec visit parent =
+    List.iter
+      (fun child ->
+        f parent child;
+        visit child)
+      parent.children
+  in
+  List.iter visit t
+
+let size t =
+  let rec count n = 1 + List.fold_left (fun acc c -> acc + count c) 0 n.children in
+  List.fold_left (fun acc n -> acc + count n) 0 t
+
+let num_edges t =
+  let n = ref 0 in
+  iter_edges t (fun _ _ -> incr n);
+  !n
+
+let pp f ppf t =
+  let rec pp_node indent n =
+    Format.fprintf ppf "%s%s (b%d)@," indent (Ir.reg_name f n.var) n.block;
+    List.iter (pp_node (indent ^ "  ")) n.children
+  in
+  Format.fprintf ppf "@[<v>";
+  List.iter (pp_node "") t;
+  Format.fprintf ppf "@]"

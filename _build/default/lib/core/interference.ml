@@ -1,0 +1,75 @@
+open Support
+module Liveness = Analysis.Liveness
+module Dominance = Analysis.Dominance
+
+type def_site = {
+  block : Ir.label;
+  index : int;
+}
+
+let def_sites (f : Ir.func) =
+  let sites = Array.make f.nregs None in
+  let record r site =
+    match sites.(r) with
+    | Some _ ->
+      invalid_arg
+        (Printf.sprintf "Interference.def_sites: %s multiply defined"
+           (Ir.reg_name f r))
+    | None -> sites.(r) <- Some site
+  in
+  List.iter (fun p -> record p { block = f.entry; index = -1 }) f.params;
+  Array.iter
+    (fun (b : Ir.block) ->
+      List.iter
+        (fun (p : Ir.phi) -> record p.dst { block = b.label; index = -1 })
+        b.phis;
+      List.iteri
+        (fun i instr ->
+          Option.iter (fun d -> record d { block = b.label; index = i }) (Ir.def instr))
+        b.body)
+    f.blocks;
+  sites
+
+let live_just_after (f : Ir.func) live ~reg ~at =
+  let b = f.blocks.(at.block) in
+  let set = Bitset.copy (Liveness.live_out live at.block) in
+  List.iter (Bitset.add set) (Ir.term_uses b.term);
+  (* Walk the body bottom-up; stop when we reach the definition point. *)
+  let rec walk instrs =
+    match instrs with
+    | [] ->
+      (* Reached the top of the body: the φ/parameter point. *)
+      assert (at.index = -1);
+      Bitset.mem set reg
+    | (i, instr) :: rest ->
+      if i = at.index then Bitset.mem set reg
+      else begin
+        Option.iter (Bitset.remove set) (Ir.def instr);
+        List.iter (Bitset.add set) (Ir.uses instr);
+        walk rest
+      end
+  in
+  let indexed = List.mapi (fun i instr -> (i, instr)) b.body in
+  walk (List.rev indexed)
+
+let precise (f : Ir.func) dom live sites v1 v2 =
+  if v1 = v2 then false
+  else
+    match sites.(v1), sites.(v2) with
+    | None, _ | _, None -> false
+    | Some d1, Some d2 ->
+      let check ~earlier ~later_site =
+        live_just_after f live ~reg:earlier ~at:later_site
+      in
+      if d1.block = d2.block then
+        if d1.index < d2.index then check ~earlier:v1 ~later_site:d2
+        else if d2.index < d1.index then check ~earlier:v2 ~later_site:d1
+        else
+          (* Two φ-nodes (or parameters) of the same block: both defined in
+             parallel at the top; they clash iff both are live there. *)
+          check ~earlier:v1 ~later_site:d2 && check ~earlier:v2 ~later_site:d1
+      else if Dominance.strictly_dominates dom d1.block d2.block then
+        check ~earlier:v1 ~later_site:d2
+      else if Dominance.strictly_dominates dom d2.block d1.block then
+        check ~earlier:v2 ~later_site:d1
+      else false

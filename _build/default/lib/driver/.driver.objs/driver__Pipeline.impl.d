@@ -1,0 +1,1 @@
+lib/driver/pipeline.ml: Baseline Core Format Frontend Ir List Printf Regalloc Ssa

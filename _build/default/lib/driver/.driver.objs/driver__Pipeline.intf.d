@@ -1,0 +1,1 @@
+lib/driver/pipeline.mli: Baseline Core Format Ir Ssa

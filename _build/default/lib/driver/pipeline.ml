@@ -1,0 +1,129 @@
+type conversion =
+  | Standard
+  | Coalescing of Core.Coalesce.options
+  | Graph of Baseline.Ig_coalesce.variant
+  | Sreedhar_i
+
+type config = {
+  pruning : Ssa.Construct.pruning;
+  fold_copies : bool;
+  simplify : bool;
+  dce : bool;
+  conversion : conversion;
+  registers : int option;
+}
+
+let default =
+  {
+    pruning = Ssa.Construct.Pruned;
+    fold_copies = true;
+    simplify = false;
+    dce = false;
+    conversion = Coalescing Core.Coalesce.default_options;
+    registers = None;
+  }
+
+type stage = {
+  name : string;
+  func : Ir.func;
+  note : string;
+}
+
+type report = {
+  input : Ir.func;
+  output : Ir.func;
+  stages : stage list;
+}
+
+let compile ?(config = default) (input : Ir.func) =
+  Ir.Validate.check_exn input;
+  let stages = ref [] in
+  let record name func note =
+    stages := { name; func; note } :: !stages;
+    func
+  in
+  let ssa, cstats =
+    Ssa.Construct.run ~pruning:config.pruning ~fold_copies:config.fold_copies
+      input
+  in
+  Ssa.Ssa_validate.check_exn ssa;
+  let cur =
+    record "ssa" ssa
+      (Printf.sprintf "%d phis inserted, %d copies folded"
+         cstats.phis_inserted cstats.copies_folded)
+  in
+  let cur =
+    if not config.simplify then cur
+    else begin
+      let g, s = Ssa.Simplify.run cur in
+      Ssa.Ssa_validate.check_exn g;
+      record "simplify" g
+        (Printf.sprintf
+           "%d folded, %d identities, %d copies propagated, %d phis collapsed"
+           s.folded s.identities s.copies_propagated s.phis_collapsed)
+    end
+  in
+  let cur =
+    if not config.dce then cur
+    else begin
+      let g, s = Ssa.Dce.run cur in
+      Ssa.Ssa_validate.check_exn g;
+      record "dce" g
+        (Printf.sprintf "%d instructions and %d phis removed"
+           s.removed_instrs s.removed_phis)
+    end
+  in
+  let cur =
+    match config.conversion with
+    | Standard ->
+      let g, s = Ssa.Destruct_naive.run (Ir.Edge_split.run cur) in
+      record "standard" g
+        (Printf.sprintf "%d copies inserted (%d cycle temps)"
+           s.copies_inserted s.temps_inserted)
+    | Coalescing options ->
+      let g, s = Core.Coalesce.run ~options cur in
+      record "coalesce" g
+        (Printf.sprintf
+           "%d classes (%d members), %d copies inserted, %d filter refusals"
+           s.classes s.class_members s.copies_inserted s.filter_refusals)
+    | Sreedhar_i ->
+      let g, s = Baseline.Sreedhar.run cur in
+      record "sreedhar-i" g
+        (Printf.sprintf "%d copies inserted, %d names introduced"
+           s.copies_inserted s.names_introduced)
+    | Graph variant ->
+      let inst = Ssa.Destruct_naive.run_exn (Ir.Edge_split.run cur) in
+      let g, s = Baseline.Ig_coalesce.run ~variant inst in
+      record
+        (match variant with
+        | Baseline.Ig_coalesce.Briggs -> "briggs"
+        | Baseline.Ig_coalesce.Briggs_star -> "briggs*")
+        g
+        (Printf.sprintf "%d rounds, %d coalesced, %d copies remain"
+           s.rounds s.coalesced s.copies_remaining)
+  in
+  Ir.Validate.check_exn cur;
+  let cur =
+    match config.registers with
+    | None -> cur
+    | Some k ->
+      let r =
+        Regalloc.run ~options:{ Regalloc.default_options with registers = k } cur
+      in
+      record "regalloc" r.func
+        (Printf.sprintf "%d colors, %d spilled ranges (%d loads, %d stores)"
+           r.stats.colors_used r.stats.spilled_ranges r.stats.spill_loads
+           r.stats.spill_stores)
+  in
+  Ir.Validate.check_exn cur;
+  { input; output = cur; stages = List.rev !stages }
+
+let compile_source ?config source =
+  List.map (fun f -> compile ?config f) (Frontend.Lower.compile source)
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun s -> Format.fprintf ppf "%-10s %s@," s.name s.note)
+    r.stages;
+  Format.fprintf ppf "@]"

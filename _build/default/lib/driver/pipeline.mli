@@ -1,0 +1,56 @@
+(** The whole backend as one configurable pipeline:
+
+    {v
+    source ──lower──► CFG ──SSA──► [simplify] ─► [dce] ─► conversion
+                                                            │
+                  executable CFG ◄── [register allocation] ◄┘
+    v}
+
+    where {e conversion} is any of the paper's four SSA-to-CFG routes.
+    This is the deployment story of the paper's introduction — a JIT-style
+    backend where the graph-free coalescer replaces both the separate
+    coalescing phase and the φ-instantiation — packaged so examples, the
+    CLI and differential tests drive every combination through one door. *)
+
+type conversion =
+  | Standard  (** naive φ-instantiation, no coalescing *)
+  | Coalescing of Core.Coalesce.options  (** the paper's algorithm *)
+  | Graph of Baseline.Ig_coalesce.variant
+      (** naive instantiation + interference-graph coalescing *)
+  | Sreedhar_i
+      (** Sreedhar et al.'s Method I: correct by construction, most copies *)
+
+type config = {
+  pruning : Ssa.Construct.pruning;
+  fold_copies : bool;  (** copy folding during SSA construction *)
+  simplify : bool;  (** {!Ssa.Simplify} after construction *)
+  dce : bool;  (** {!Ssa.Dce} before conversion *)
+  conversion : conversion;
+  registers : int option;  (** [Some k]: finish with a k-register allocation *)
+}
+
+val default : config
+(** Pruned SSA, folding on, simplify and dce off, the paper's coalescer
+    with default options, no register allocation. *)
+
+type stage = {
+  name : string;
+  func : Ir.func;  (** snapshot after the stage *)
+  note : string;  (** one-line statistics summary *)
+}
+
+type report = {
+  input : Ir.func;
+  output : Ir.func;  (** φ-free; register ids are colors if allocated *)
+  stages : stage list;  (** in execution order *)
+}
+
+val compile : ?config:config -> Ir.func -> report
+(** Run the configured pipeline. The input must be a strict CFG function
+    (e.g. from {!Frontend.Lower}); every intermediate stage is validated. *)
+
+val compile_source : ?config:config -> string -> report list
+(** Parse mini-language source and compile every function in it. *)
+
+val pp_report : Format.formatter -> report -> unit
+(** The per-stage notes, one per line. *)

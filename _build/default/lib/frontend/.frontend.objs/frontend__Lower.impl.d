@@ -1,0 +1,1 @@
+lib/frontend/lower.ml: Analysis Array Ast Hashtbl Ir List Option Parser Support

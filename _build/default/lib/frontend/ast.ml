@@ -1,0 +1,54 @@
+(* Abstract syntax of the mini language.
+
+   Scalars and arrays live in separate namespaces: [x] is a scalar variable,
+   [x[e]] indexes the array named [x]. There are no declarations; a scalar
+   first used before assignment reads 0 (the lowering inserts the paper's
+   strictness initializations for exactly those variables). *)
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | And | Or
+
+type unop = Neg | Not
+
+type expr =
+  | Int of int
+  | Float of float
+  | Var of string
+  | Index of string * expr
+  | Unary of unop * expr
+  | Binary of binop * expr * expr
+  | Cast_float of expr
+  | Cast_int of expr
+
+type stmt =
+  | Assign of string * expr
+  | Store of string * expr * expr  (* array, index, value *)
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | Return of expr option
+
+type func = {
+  name : string;
+  params : string list;
+  body : stmt list;
+}
+
+let rec pp_expr ppf = function
+  | Int i -> Format.fprintf ppf "%d" i
+  | Float x -> Format.fprintf ppf "%g" x
+  | Var v -> Format.pp_print_string ppf v
+  | Index (a, e) -> Format.fprintf ppf "%s[%a]" a pp_expr e
+  | Unary (Neg, e) -> Format.fprintf ppf "(-%a)" pp_expr e
+  | Unary (Not, e) -> Format.fprintf ppf "(!%a)" pp_expr e
+  | Binary (op, l, r) ->
+    let s =
+      match op with
+      | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+      | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">=" | Eq -> "==" | Ne -> "!="
+      | And -> "&&" | Or -> "||"
+    in
+    Format.fprintf ppf "(%a %s %a)" pp_expr l s pp_expr r
+  | Cast_float e -> Format.fprintf ppf "float(%a)" pp_expr e
+  | Cast_int e -> Format.fprintf ppf "int(%a)" pp_expr e

@@ -1,0 +1,67 @@
+{
+(* Lexer for the mini language. Comments are '#' or '//' to end of line. *)
+
+exception Error of string * int  (* message, line *)
+
+let line = ref 1
+}
+
+let digit = ['0'-'9']
+let ident_start = ['a'-'z' 'A'-'Z' '_']
+let ident_char = ['a'-'z' 'A'-'Z' '0'-'9' '_']
+
+rule token = parse
+  | [' ' '\t' '\r']      { token lexbuf }
+  | '\n'                 { incr line; token lexbuf }
+  | '#' [^ '\n']*        { token lexbuf }
+  | "//" [^ '\n']*       { token lexbuf }
+  | digit+ '.' digit* (['e' 'E'] ['+' '-']? digit+)? as f
+                         { Token.FLOAT (float_of_string f) }
+  | digit+ as i          { Token.INT (int_of_string i) }
+  | "func"               { Token.KW_FUNC }
+  | "if"                 { Token.KW_IF }
+  | "else"               { Token.KW_ELSE }
+  | "while"              { Token.KW_WHILE }
+  | "for"                { Token.KW_FOR }
+  | "return"             { Token.KW_RETURN }
+  | "float"              { Token.KW_FLOAT }
+  | "int"                { Token.KW_INT }
+  | ident_start ident_char* as id { Token.IDENT id }
+  | "("                  { Token.LPAREN }
+  | ")"                  { Token.RPAREN }
+  | "{"                  { Token.LBRACE }
+  | "}"                  { Token.RBRACE }
+  | "["                  { Token.LBRACKET }
+  | "]"                  { Token.RBRACKET }
+  | ","                  { Token.COMMA }
+  | ";"                  { Token.SEMI }
+  | "=="                 { Token.EQ }
+  | "!="                 { Token.NE }
+  | "<="                 { Token.LE }
+  | ">="                 { Token.GE }
+  | "<"                  { Token.LT }
+  | ">"                  { Token.GT }
+  | "="                  { Token.ASSIGN }
+  | "+"                  { Token.PLUS }
+  | "-"                  { Token.MINUS }
+  | "*"                  { Token.STAR }
+  | "/"                  { Token.SLASH }
+  | "%"                  { Token.PERCENT }
+  | "&&"                 { Token.ANDAND }
+  | "||"                 { Token.OROR }
+  | "!"                  { Token.NOT }
+  | eof                  { Token.EOF }
+  | _ as c               { raise (Error (Printf.sprintf "unexpected character %C" c, !line)) }
+
+{
+let tokenize (s : string) : (Token.t * int) list =
+  line := 1;
+  let lexbuf = Lexing.from_string s in
+  let rec loop acc =
+    let ln = !line in
+    match token lexbuf with
+    | Token.EOF -> List.rev ((Token.EOF, ln) :: acc)
+    | t -> loop ((t, ln) :: acc)
+  in
+  loop []
+}

@@ -1,0 +1,25 @@
+(** Lowering from the mini-language AST to the IR.
+
+    Every scalar variable gets one virtual register for the whole function
+    (classic pre-SSA form); source-level assignments of variables and
+    constants become [Copy] instructions — the copies whose fate the whole
+    library studies. Control flow becomes the usual diamond/loop CFGs.
+
+    The paper requires {e strict} input (Definition 2.1). As it suggests, we
+    impose strictness by initializing to zero exactly the variables in the
+    live-in set of the entry block. *)
+
+type stats = {
+  strictness_inits : int;
+      (** zero-initializations inserted at the entry for strictness *)
+}
+
+val lower : Ast.func -> Ir.func * stats
+(** The result passes {!Ir.Validate.run}. *)
+
+val compile : string -> Ir.func list
+(** Parse and lower every function in a source string.
+    @raise Parser.Error on syntax errors. *)
+
+val compile_one : string -> Ir.func
+(** Parse and lower a source string containing exactly one function. *)

@@ -1,0 +1,273 @@
+exception Error of string * int
+
+(* A mutable cursor over the token stream. *)
+type state = {
+  mutable toks : (Token.t * int) list;
+}
+
+let peek st =
+  match st.toks with
+  | (t, _) :: _ -> t
+  | [] -> Token.EOF
+
+let line st =
+  match st.toks with
+  | (_, l) :: _ -> l
+  | [] -> 0
+
+let advance st =
+  match st.toks with
+  | _ :: rest -> st.toks <- rest
+  | [] -> ()
+
+let fail st fmt =
+  Format.kasprintf (fun msg -> raise (Error (msg, line st))) fmt
+
+let expect st tok =
+  if peek st = tok then advance st
+  else
+    fail st "expected %s, found %s" (Token.to_string tok)
+      (Token.to_string (peek st))
+
+let expect_ident st =
+  match peek st with
+  | Token.IDENT s ->
+    advance st;
+    s
+  | t -> fail st "expected an identifier, found %s" (Token.to_string t)
+
+(* Expressions, by precedence climbing. *)
+let rec expr st = or_expr st
+
+and or_expr st =
+  let l = and_expr st in
+  if peek st = Token.OROR then begin
+    advance st;
+    Ast.Binary (Ast.Or, l, or_expr st)
+  end
+  else l
+
+and and_expr st =
+  let l = cmp_expr st in
+  if peek st = Token.ANDAND then begin
+    advance st;
+    Ast.Binary (Ast.And, l, and_expr st)
+  end
+  else l
+
+and cmp_expr st =
+  let l = add_expr st in
+  let op =
+    match peek st with
+    | Token.LT -> Some Ast.Lt
+    | Token.LE -> Some Ast.Le
+    | Token.GT -> Some Ast.Gt
+    | Token.GE -> Some Ast.Ge
+    | Token.EQ -> Some Ast.Eq
+    | Token.NE -> Some Ast.Ne
+    | _ -> None
+  in
+  match op with
+  | None -> l
+  | Some op ->
+    advance st;
+    Ast.Binary (op, l, add_expr st)
+
+and add_expr st =
+  let rec loop l =
+    match peek st with
+    | Token.PLUS ->
+      advance st;
+      loop (Ast.Binary (Ast.Add, l, mul_expr st))
+    | Token.MINUS ->
+      advance st;
+      loop (Ast.Binary (Ast.Sub, l, mul_expr st))
+    | _ -> l
+  in
+  loop (mul_expr st)
+
+and mul_expr st =
+  let rec loop l =
+    match peek st with
+    | Token.STAR ->
+      advance st;
+      loop (Ast.Binary (Ast.Mul, l, unary_expr st))
+    | Token.SLASH ->
+      advance st;
+      loop (Ast.Binary (Ast.Div, l, unary_expr st))
+    | Token.PERCENT ->
+      advance st;
+      loop (Ast.Binary (Ast.Mod, l, unary_expr st))
+    | _ -> l
+  in
+  loop (unary_expr st)
+
+and unary_expr st =
+  match peek st with
+  | Token.MINUS ->
+    advance st;
+    Ast.Unary (Ast.Neg, unary_expr st)
+  | Token.NOT ->
+    advance st;
+    Ast.Unary (Ast.Not, unary_expr st)
+  | _ -> primary st
+
+and primary st =
+  match peek st with
+  | Token.INT i ->
+    advance st;
+    Ast.Int i
+  | Token.FLOAT x ->
+    advance st;
+    Ast.Float x
+  | Token.KW_FLOAT ->
+    advance st;
+    expect st Token.LPAREN;
+    let e = expr st in
+    expect st Token.RPAREN;
+    Ast.Cast_float e
+  | Token.KW_INT ->
+    advance st;
+    expect st Token.LPAREN;
+    let e = expr st in
+    expect st Token.RPAREN;
+    Ast.Cast_int e
+  | Token.IDENT name -> (
+    advance st;
+    match peek st with
+    | Token.LBRACKET ->
+      advance st;
+      let e = expr st in
+      expect st Token.RBRACKET;
+      Ast.Index (name, e)
+    | _ -> Ast.Var name)
+  | Token.LPAREN ->
+    advance st;
+    let e = expr st in
+    expect st Token.RPAREN;
+    e
+  | t -> fail st "expected an expression, found %s" (Token.to_string t)
+
+let rec stmt st : Ast.stmt =
+  match peek st with
+  | Token.KW_IF -> if_stmt st
+  | Token.KW_WHILE ->
+    advance st;
+    expect st Token.LPAREN;
+    let cond = expr st in
+    expect st Token.RPAREN;
+    Ast.While (cond, block st)
+  | Token.KW_FOR ->
+    (* Desugared below into init; while (cond) { body; step }. We return a
+       While and rely on [stmts] to prepend the init. *)
+    fail st "internal: 'for' handled in stmts"
+  | Token.KW_RETURN ->
+    advance st;
+    if peek st = Token.SEMI then begin
+      advance st;
+      Ast.Return None
+    end
+    else begin
+      let e = expr st in
+      expect st Token.SEMI;
+      Ast.Return (Some e)
+    end
+  | Token.IDENT name -> (
+    advance st;
+    match peek st with
+    | Token.ASSIGN ->
+      advance st;
+      let e = expr st in
+      expect st Token.SEMI;
+      Ast.Assign (name, e)
+    | Token.LBRACKET ->
+      advance st;
+      let idx = expr st in
+      expect st Token.RBRACKET;
+      expect st Token.ASSIGN;
+      let e = expr st in
+      expect st Token.SEMI;
+      Ast.Store (name, idx, e)
+    | t -> fail st "expected '=' or '[' after identifier, found %s" (Token.to_string t))
+  | t -> fail st "expected a statement, found %s" (Token.to_string t)
+
+and if_stmt st =
+  expect st Token.KW_IF;
+  expect st Token.LPAREN;
+  let cond = expr st in
+  expect st Token.RPAREN;
+  let then_ = block st in
+  if peek st = Token.KW_ELSE then begin
+    advance st;
+    if peek st = Token.KW_IF then Ast.If (cond, then_, [ if_stmt st ])
+    else Ast.If (cond, then_, block st)
+  end
+  else Ast.If (cond, then_, [])
+
+and stmts st : Ast.stmt list =
+  (* Statement list; 'for' expands to two statements here. *)
+  let rec loop acc =
+    match peek st with
+    | Token.RBRACE | Token.EOF -> List.rev acc
+    | Token.KW_FOR ->
+      advance st;
+      expect st Token.LPAREN;
+      let iv = expect_ident st in
+      expect st Token.ASSIGN;
+      let init = expr st in
+      expect st Token.SEMI;
+      let cond = expr st in
+      expect st Token.SEMI;
+      let sv = expect_ident st in
+      expect st Token.ASSIGN;
+      let step = expr st in
+      expect st Token.RPAREN;
+      let body = block st in
+      let while_ = Ast.While (cond, body @ [ Ast.Assign (sv, step) ]) in
+      loop (while_ :: Ast.Assign (iv, init) :: acc)
+    | _ -> loop (stmt st :: acc)
+  in
+  loop []
+
+and block st =
+  expect st Token.LBRACE;
+  let body = stmts st in
+  expect st Token.RBRACE;
+  body
+
+let func_decl st : Ast.func =
+  expect st Token.KW_FUNC;
+  let name = expect_ident st in
+  expect st Token.LPAREN;
+  let params =
+    if peek st = Token.RPAREN then []
+    else begin
+      let rec loop acc =
+        let p = expect_ident st in
+        if peek st = Token.COMMA then begin
+          advance st;
+          loop (p :: acc)
+        end
+        else List.rev (p :: acc)
+      in
+      loop []
+    end
+  in
+  expect st Token.RPAREN;
+  let body = block st in
+  { Ast.name; params; body }
+
+let program source =
+  let st =
+    try { toks = Lexer.tokenize source }
+    with Lexer.Error (msg, l) -> raise (Error (msg, l))
+  in
+  let rec loop acc =
+    if peek st = Token.EOF then List.rev acc else loop (func_decl st :: acc)
+  in
+  loop []
+
+let func source =
+  match program source with
+  | [ f ] -> f
+  | fs -> raise (Error (Printf.sprintf "expected exactly one function, found %d" (List.length fs), 0))

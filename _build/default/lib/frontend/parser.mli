@@ -1,0 +1,26 @@
+(** Recursive-descent parser for the mini language.
+
+    Grammar (precedence climbing, lowest first: [||], [&&], comparisons,
+    additive, multiplicative, unary):
+
+    {v
+    program := func*
+    func    := "func" IDENT "(" [IDENT ("," IDENT)*] ")" block
+    block   := "{" stmt* "}"
+    stmt    := IDENT "=" expr ";"
+             | IDENT "[" expr "]" "=" expr ";"
+             | "if" "(" expr ")" block ["else" (block | ifstmt)]
+             | "while" "(" expr ")" block
+             | "for" "(" IDENT "=" expr ";" expr ";" IDENT "=" expr ")" block
+             | "return" [expr] ";"
+    v}
+
+    [for] desugars to an initial assignment plus a [while] with the step
+    appended to the body. *)
+
+exception Error of string * int
+(** Message and source line. *)
+
+val program : string -> Ast.func list
+val func : string -> Ast.func
+(** Parse a source containing exactly one function. *)

@@ -1,0 +1,75 @@
+(* Tokens of the mini language. *)
+
+type t =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | KW_FUNC
+  | KW_IF
+  | KW_ELSE
+  | KW_WHILE
+  | KW_FOR
+  | KW_RETURN
+  | KW_FLOAT
+  | KW_INT
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | SEMI
+  | ASSIGN
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQ
+  | NE
+  | NOT
+  | ANDAND
+  | OROR
+  | EOF
+
+let to_string = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | INT i -> Printf.sprintf "integer %d" i
+  | FLOAT x -> Printf.sprintf "float %g" x
+  | KW_FUNC -> "'func'"
+  | KW_IF -> "'if'"
+  | KW_ELSE -> "'else'"
+  | KW_WHILE -> "'while'"
+  | KW_FOR -> "'for'"
+  | KW_RETURN -> "'return'"
+  | KW_FLOAT -> "'float'"
+  | KW_INT -> "'int'"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | LBRACKET -> "'['"
+  | RBRACKET -> "']'"
+  | COMMA -> "','"
+  | SEMI -> "';'"
+  | ASSIGN -> "'='"
+  | PLUS -> "'+'"
+  | MINUS -> "'-'"
+  | STAR -> "'*'"
+  | SLASH -> "'/'"
+  | PERCENT -> "'%'"
+  | LT -> "'<'"
+  | LE -> "'<='"
+  | GT -> "'>'"
+  | GE -> "'>='"
+  | EQ -> "'=='"
+  | NE -> "'!='"
+  | NOT -> "'!'"
+  | ANDAND -> "'&&'"
+  | OROR -> "'||'"
+  | EOF -> "end of input"

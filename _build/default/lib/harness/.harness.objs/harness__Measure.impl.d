@@ -1,0 +1,1 @@
+lib/harness/measure.ml: Analyze Bechamel Benchmark Int64 Monotonic_clock Staged Test Time Toolkit

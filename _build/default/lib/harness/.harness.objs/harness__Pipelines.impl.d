@@ -1,0 +1,1 @@
+lib/harness/pipelines.ml: Analysis Baseline Core Interp Ir Ssa

@@ -1,0 +1,1 @@
+lib/harness/tables.ml: Array Format List Printf String

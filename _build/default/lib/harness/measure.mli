@@ -1,0 +1,12 @@
+(** Timing helpers built on Bechamel's monotonic clock.
+
+    The paper's time columns are per-routine conversion times; we estimate
+    each with Bechamel's OLS fit over growing iteration counts, which is far
+    more stable than a single wall-clock sample at these (sub-millisecond)
+    scales. *)
+
+val ns_per_run : ?quota_s:float -> name:string -> (unit -> 'a) -> float
+(** Estimated nanoseconds per call of the thunk. *)
+
+val seconds : ?quota_s:float -> name:string -> (unit -> 'a) -> float
+(** {!ns_per_run} in seconds. *)

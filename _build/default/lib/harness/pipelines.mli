@@ -1,0 +1,30 @@
+(** The four SSA-to-CFG conversion pipelines of the paper's evaluation
+    (Section 4), all starting from the same strict non-SSA function:
+
+    - {b Standard}: pruned SSA with copy folding → naive φ-instantiation.
+    - {b New}: pruned SSA with copy folding → the paper's coalescer.
+    - {b Briggs} / {b Briggs_star}: Standard instantiation followed by the
+      interference-graph build/coalesce loop (full graph vs copy-restricted
+      graph; identical output).
+
+    Each conversion reports the modeled peak bytes of its distinguishing
+    data structures, which is what Tables 1 and 3 compare. *)
+
+type pipeline = Standard | New | Briggs | Briggs_star
+
+val name : pipeline -> string
+val all : pipeline list
+
+type result = {
+  func : Ir.func;  (** φ-free, validated *)
+  static_copies : int;
+  aux_bytes : int;
+  ig_rounds : int;  (** graph-build passes; 0 for Standard/New *)
+  ig_bytes_per_round : int list;
+}
+
+val convert : pipeline -> Ir.func -> result
+(** Run the whole conversion (SSA construction included). *)
+
+val dynamic_copies : result -> args:Ir.value list -> int
+(** Execute under the interpreter and count copies — the Table 4 metric. *)

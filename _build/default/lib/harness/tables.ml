@@ -1,0 +1,50 @@
+type align = L | R
+
+let print ?(out = Format.std_formatter) ~title ~header ?aligns rows =
+  let aligns =
+    match aligns with
+    | Some a -> a
+    | None -> L :: List.map (fun _ -> R) (List.tl header)
+  in
+  let ncols = List.length header in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell -> if i < ncols then widths.(i) <- max widths.(i) (String.length cell))
+        row)
+    (header :: rows);
+  let pad align w s =
+    let fill = String.make (max 0 (w - String.length s)) ' ' in
+    match align with L -> s ^ fill | R -> fill ^ s
+  in
+  let render_row row =
+    let cells =
+      List.mapi
+        (fun i cell ->
+          pad (List.nth aligns i) widths.(i) cell)
+        row
+    in
+    String.concat "  " cells
+  in
+  let sep = String.make (List.fold_left ( + ) (2 * (ncols - 1)) (Array.to_list widths)) '-' in
+  Format.fprintf out "@.%s@.%s@.%s@." title (render_row header) sep;
+  List.iter (fun r -> Format.fprintf out "%s@." (render_row r)) rows;
+  Format.fprintf out "%!"
+
+let fmt_seconds s =
+  if s < 1e-6 then Printf.sprintf "%.0fns" (s *. 1e9)
+  else if s < 1e-3 then Printf.sprintf "%.2fus" (s *. 1e6)
+  else if s < 1.0 then Printf.sprintf "%.2fms" (s *. 1e3)
+  else Printf.sprintf "%.2fs" s
+
+let fmt_bytes b =
+  if b < 1024 then Printf.sprintf "%dB" b
+  else if b < 1024 * 1024 then Printf.sprintf "%.1fKB" (float_of_int b /. 1024.)
+  else Printf.sprintf "%.2fMB" (float_of_int b /. (1024. *. 1024.))
+
+let fmt_ratio r = Printf.sprintf "%.2f" r
+
+let average = function
+  | [] -> 0.
+  | l -> List.fold_left ( +. ) 0. l /. float_of_int (List.length l)

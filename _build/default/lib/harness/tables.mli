@@ -1,0 +1,23 @@
+(** Plain-text table rendering in the paper's style: one row per routine, a
+    closing AVERAGE row, ratio columns. *)
+
+type align = L | R
+
+val print :
+  ?out:Format.formatter ->
+  title:string ->
+  header:string list ->
+  ?aligns:align list ->
+  string list list ->
+  unit
+(** Column widths are computed from the contents; default alignment is
+    right for every column except the first. *)
+
+val fmt_seconds : float -> string
+(** e.g. [0.00123] → ["1.23ms"], sub-microsecond shown in µs. *)
+
+val fmt_bytes : int -> string
+val fmt_ratio : float -> string
+
+val average : float list -> float
+(** Arithmetic mean; 0 on empty. *)

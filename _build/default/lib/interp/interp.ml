@@ -1,0 +1,206 @@
+type error =
+  | Unbound_register of Ir.reg
+  | Array_bounds of string * int
+  | Division_by_zero
+  | Bad_index of string
+  | Step_limit_exceeded
+
+exception Error of error
+
+let pp_error ppf = function
+  | Unbound_register r -> Format.fprintf ppf "read of unbound register r%d" r
+  | Array_bounds (a, i) -> Format.fprintf ppf "array %s index %d out of bounds" a i
+  | Division_by_zero -> Format.fprintf ppf "division by zero"
+  | Bad_index a -> Format.fprintf ppf "non-integer index into array %s" a
+  | Step_limit_exceeded -> Format.fprintf ppf "step limit exceeded"
+
+type stats = {
+  instrs_executed : int;
+  copies_executed : int;
+  phis_executed : int;
+  blocks_entered : int;
+}
+
+type outcome = {
+  return_value : Ir.value option;
+  arrays : (string * Ir.value array) list;
+  stats : stats;
+}
+
+let as_float = function Ir.Int i -> float_of_int i | Ir.Float x -> x
+
+let as_bool = function
+  | Ir.Int i -> i <> 0
+  | Ir.Float x -> x <> 0.0
+
+let of_bool b = Ir.Int (if b then 1 else 0)
+
+let arith fi ff a b =
+  match a, b with
+  | Ir.Int x, Ir.Int y -> Ir.Int (fi x y)
+  | _ -> Ir.Float (ff (as_float a) (as_float b))
+
+let compare_values cmp a b =
+  match a, b with
+  | Ir.Int x, Ir.Int y -> of_bool (cmp (compare x y) 0)
+  | _ -> of_bool (cmp (compare (as_float a) (as_float b)) 0)
+
+let eval_binop op a b =
+  match op with
+  | Ir.Add -> arith ( + ) ( +. ) a b
+  | Sub -> arith ( - ) ( -. ) a b
+  | Mul -> arith ( * ) ( *. ) a b
+  | Div -> (
+    match a, b with
+    | _, Ir.Int 0 -> raise (Error Division_by_zero)
+    | Ir.Int x, Ir.Int y -> Ir.Int (x / y)
+    | _ ->
+      let d = as_float b in
+      if d = 0.0 then raise (Error Division_by_zero);
+      Ir.Float (as_float a /. d))
+  | Mod -> (
+    match a, b with
+    | _, Ir.Int 0 -> raise (Error Division_by_zero)
+    | Ir.Int x, Ir.Int y -> Ir.Int (x mod y)
+    | _ ->
+      let d = as_float b in
+      if d = 0.0 then raise (Error Division_by_zero);
+      Ir.Float (Float.rem (as_float a) d))
+  | Flt_add -> Ir.Float (as_float a +. as_float b)
+  | Flt_sub -> Ir.Float (as_float a -. as_float b)
+  | Flt_mul -> Ir.Float (as_float a *. as_float b)
+  | Flt_div ->
+    let d = as_float b in
+    if d = 0.0 then raise (Error Division_by_zero);
+    Ir.Float (as_float a /. d)
+  | Lt -> compare_values ( < ) a b
+  | Le -> compare_values ( <= ) a b
+  | Gt -> compare_values ( > ) a b
+  | Ge -> compare_values ( >= ) a b
+  | Eq -> compare_values ( = ) a b
+  | Ne -> compare_values ( <> ) a b
+  | And -> of_bool (as_bool a && as_bool b)
+  | Or -> of_bool (as_bool a || as_bool b)
+
+let eval_unop op a =
+  match op with
+  | Ir.Neg -> (
+    match a with Ir.Int x -> Ir.Int (-x) | Ir.Float x -> Ir.Float (-.x))
+  | Not -> of_bool (not (as_bool a))
+  | Int_to_float -> Ir.Float (as_float a)
+  | Float_to_int -> Ir.Int (match a with Ir.Int x -> x | Ir.Float x -> int_of_float x)
+
+let run ?(array_size = 1024) ?(step_limit = 20_000_000) ~args (f : Ir.func) =
+  if List.length args <> List.length f.params then
+    invalid_arg "Interp.run: argument count mismatch";
+  let regs : Ir.value option array = Array.make (max 1 f.nregs) None in
+  List.iter2 (fun p v -> regs.(p) <- Some v) f.params args;
+  let arrays : (string, Ir.value array) Hashtbl.t = Hashtbl.create 8 in
+  let array_of name =
+    match Hashtbl.find_opt arrays name with
+    | Some a -> a
+    | None ->
+      let a = Array.make array_size (Ir.Int 0) in
+      Hashtbl.add arrays name a;
+      a
+  in
+  let read r =
+    match regs.(r) with
+    | Some v -> v
+    | None -> raise (Error (Unbound_register r))
+  in
+  let operand = function Ir.Reg r -> read r | Ir.Const v -> v in
+  let index name op =
+    match operand op with
+    | Ir.Int i ->
+      if i < 0 || i >= array_size then raise (Error (Array_bounds (name, i)));
+      i
+    | Ir.Float _ -> raise (Error (Bad_index name))
+  in
+  let steps = ref 0 in
+  let copies = ref 0 in
+  let phis = ref 0 in
+  let blocks = ref 0 in
+  let tick () =
+    incr steps;
+    if !steps > step_limit then raise (Error Step_limit_exceeded)
+  in
+  let exec_instr = function
+    | Ir.Copy { dst; src } ->
+      tick ();
+      incr copies;
+      regs.(dst) <- Some (operand src)
+    | Unop { op; dst; src } ->
+      tick ();
+      regs.(dst) <- Some (eval_unop op (operand src))
+    | Binop { op; dst; l; r } ->
+      tick ();
+      regs.(dst) <- Some (eval_binop op (operand l) (operand r))
+    | Load { dst; arr; idx } ->
+      tick ();
+      regs.(dst) <- Some (array_of arr).(index arr idx)
+    | Store { arr; idx; src } ->
+      tick ();
+      let a = array_of arr in
+      a.(index arr idx) <- operand src
+  in
+  let return_value = ref None in
+  let prev = ref (-1) in
+  let current = ref (Some f.entry) in
+  while !current <> None do
+    let l = match !current with Some l -> l | None -> assert false in
+    incr blocks;
+    let b = f.blocks.(l) in
+    (* φ-nodes: parallel reads along the incoming edge, then writes. *)
+    (match b.phis with
+    | [] -> ()
+    | ps ->
+      let values =
+        List.map
+          (fun (p : Ir.phi) ->
+            tick ();
+            incr phis;
+            match List.assoc_opt !prev p.args with
+            | Some op -> (p.dst, operand op)
+            | None ->
+              invalid_arg
+                (Printf.sprintf "Interp: phi in b%d lacks an argument for b%d"
+                   l !prev))
+          ps
+      in
+      List.iter (fun (d, v) -> regs.(d) <- Some v) values);
+    List.iter exec_instr b.body;
+    tick ();
+    prev := l;
+    match b.term with
+    | Jump next -> current := Some next
+    | Branch { cond; if_true; if_false } ->
+      current := Some (if as_bool (operand cond) then if_true else if_false)
+    | Return op ->
+      return_value := Option.map operand op;
+      current := None
+  done;
+  let return_value = !return_value in
+  let arrays =
+    Hashtbl.fold (fun name a acc -> (name, a) :: acc) arrays []
+    |> List.sort compare
+  in
+  {
+    return_value;
+    arrays;
+    stats =
+      {
+        instrs_executed = !steps;
+        copies_executed = !copies;
+        phis_executed = !phis;
+        blocks_entered = !blocks;
+      };
+  }
+
+let equivalent a b =
+  (* Arrays are created zero-filled on first access, so an array that was
+     only ever read is observationally the same as one never touched:
+     normalize by dropping all-zero arrays before comparing. *)
+  let nonzero (_, cells) = Array.exists (fun v -> v <> Ir.Int 0) cells in
+  a.return_value = b.return_value
+  && List.filter nonzero a.arrays = List.filter nonzero b.arrays

@@ -1,0 +1,56 @@
+(** A reference interpreter for the IR.
+
+    It executes both SSA functions (φ-nodes get parallel, edge-based
+    semantics: all arguments for the incoming edge are read before any
+    target is written) and ordinary CFG functions, so the same program can
+    be run before and after any transformation and compared — the
+    correctness oracle for the whole library, and the instrument that counts
+    {e dynamic copies executed} for Table 4.
+
+    Arrays live in a side memory keyed by name; they are created zero-filled
+    on first access with a configurable size. *)
+
+type error =
+  | Unbound_register of Ir.reg
+  | Array_bounds of string * int
+  | Division_by_zero
+  | Bad_index of string
+  | Step_limit_exceeded
+
+exception Error of error
+
+val pp_error : Format.formatter -> error -> unit
+
+type stats = {
+  instrs_executed : int;  (** body instructions, φs and terminators *)
+  copies_executed : int;  (** the Table 4 metric *)
+  phis_executed : int;
+  blocks_entered : int;
+}
+
+type outcome = {
+  return_value : Ir.value option;
+  arrays : (string * Ir.value array) list;  (** final memory, sorted by name *)
+  stats : stats;
+}
+
+val eval_binop : Ir.binop -> Ir.value -> Ir.value -> Ir.value
+(** The arithmetic of the machine, exposed so optimization passes fold
+    constants with exactly the runtime semantics.
+    @raise Error on division/modulo by zero. *)
+
+val eval_unop : Ir.unop -> Ir.value -> Ir.value
+
+val run :
+  ?array_size:int ->
+  ?step_limit:int ->
+  args:Ir.value list ->
+  Ir.func ->
+  outcome
+(** Execute the function. [args] must match the parameter count.
+    [array_size] defaults to 1024 cells, [step_limit] to 20 million.
+    Raises {!Error} on runtime faults. *)
+
+val equivalent : outcome -> outcome -> bool
+(** Same return value and same final array memory (statistics are ignored) —
+    the property every transformation must preserve. *)

@@ -1,0 +1,1 @@
+lib/ir/ir.ml: Builder Cfg Dot Edge_split Mir Parse Printer Validate

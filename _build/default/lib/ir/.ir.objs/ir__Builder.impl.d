@@ -1,0 +1,1 @@
+lib/ir/builder.ml: Array Imap Mir Printf Support Vec

@@ -1,0 +1,1 @@
+lib/ir/dot.ml: Array Buffer Cfg Format List Mir Option Printer Printf String

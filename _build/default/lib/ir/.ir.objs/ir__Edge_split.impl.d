@@ -1,0 +1,1 @@
+lib/ir/edge_split.ml: Array Cfg Hashtbl List Mir

@@ -1,0 +1,1 @@
+lib/ir/edge_split.mli: Cfg Mir

@@ -1,0 +1,1 @@
+lib/ir/mir.ml: Array List Printf Support

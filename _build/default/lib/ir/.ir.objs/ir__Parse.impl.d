@@ -1,0 +1,1 @@
+lib/ir/parse.ml: Array Format List Mir Printf String Support

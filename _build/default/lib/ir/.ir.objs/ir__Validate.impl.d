@@ -1,0 +1,1 @@
+lib/ir/validate.ml: Array Bitset Cfg Format List Mir Option Printf String Support

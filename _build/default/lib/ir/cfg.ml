@@ -1,0 +1,78 @@
+type t = {
+  entry : Mir.label;
+  succs : Mir.label list array;
+  preds : Mir.label list array;
+  reachable : bool array;
+  postorder : Mir.label array;
+}
+
+let dedup_keep_order l =
+  let seen = Hashtbl.create 4 in
+  List.filter
+    (fun x ->
+      if Hashtbl.mem seen x then false
+      else begin
+        Hashtbl.add seen x ();
+        true
+      end)
+    l
+
+let of_func (f : Mir.func) =
+  let n = Mir.num_blocks f in
+  let succs =
+    Array.init n (fun l -> dedup_keep_order (Mir.successors f.blocks.(l).term))
+  in
+  let preds = Array.make n [] in
+  let reachable = Array.make n false in
+  let order = Support.Vec.create () in
+  (* Iterative DFS producing a postorder; the explicit stack carries the
+     list of successors still to visit for each open node. *)
+  let stack = ref [ (f.entry, succs.(f.entry)) ] in
+  reachable.(f.entry) <- true;
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | (l, todo) :: rest -> (
+      match todo with
+      | [] ->
+        Support.Vec.push order l;
+        stack := rest
+      | s :: todo' ->
+        stack := (l, todo') :: rest;
+        if not reachable.(s) then begin
+          reachable.(s) <- true;
+          stack := (s, succs.(s)) :: !stack
+        end)
+  done;
+  for l = 0 to n - 1 do
+    if reachable.(l) then
+      List.iter (fun s -> preds.(s) <- l :: preds.(s)) succs.(l)
+  done;
+  for l = 0 to n - 1 do
+    preds.(l) <- List.sort_uniq compare preds.(l)
+  done;
+  { entry = f.entry; succs; preds; reachable; postorder = Support.Vec.to_array order }
+
+let succs t l = t.succs.(l)
+let preds t l = t.preds.(l)
+let reachable t l = t.reachable.(l)
+let postorder t = t.postorder
+
+let reverse_postorder t =
+  let a = Array.copy t.postorder in
+  let n = Array.length a in
+  for i = 0 to (n / 2) - 1 do
+    let tmp = a.(i) in
+    a.(i) <- a.(n - 1 - i);
+    a.(n - 1 - i) <- tmp
+  done;
+  a
+
+let num_blocks t = Array.length t.succs
+let entry t = t.entry
+
+let num_edges t =
+  Array.fold_left ( + ) 0
+    (Array.mapi
+       (fun l ss -> if t.reachable.(l) then List.length ss else 0)
+       t.succs)

@@ -1,0 +1,28 @@
+(** Derived control-flow-graph structure for a function.
+
+    All analyses need predecessor lists and depth-first orders; this module
+    computes them once so passes can share them. Labels not reachable from
+    the entry keep empty predecessor lists and are excluded from the orders. *)
+
+type t
+
+val of_func : Mir.func -> t
+
+val succs : t -> Mir.label -> Mir.label list
+(** Distinct successors, in terminator order. *)
+
+val preds : t -> Mir.label -> Mir.label list
+(** Distinct predecessors, in increasing label order. *)
+
+val reachable : t -> Mir.label -> bool
+
+val postorder : t -> Mir.label array
+(** Reachable labels in a depth-first postorder from the entry. *)
+
+val reverse_postorder : t -> Mir.label array
+
+val num_blocks : t -> int
+val entry : t -> Mir.label
+
+val num_edges : t -> int
+(** Number of CFG edges between reachable blocks. *)

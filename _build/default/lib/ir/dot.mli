@@ -1,0 +1,11 @@
+(** Graphviz (DOT) export of the structures the library reasons about:
+    the control-flow graph, the dominator tree, and dominance forests.
+    Feed the output to [dot -Tsvg] to see what the algorithms see. *)
+
+val cfg : ?instructions:bool -> Mir.func -> string
+(** The control-flow graph; with [instructions] (default true) each block
+    node lists its φs and body. *)
+
+val dominator_tree : Mir.func -> string
+(** Solid edges: the dominator tree. Dashed gray edges: the CFG edges that
+    are not tree edges, for orientation. *)

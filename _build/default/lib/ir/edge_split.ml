@@ -1,0 +1,69 @@
+let is_critical cfg ~src ~dst =
+  List.length (Cfg.succs cfg src) > 1 && List.length (Cfg.preds cfg dst) > 1
+
+let critical_edges (f : Mir.func) =
+  let cfg = Cfg.of_func f in
+  let edges = ref [] in
+  Array.iter
+    (fun (b : Mir.block) ->
+      if Cfg.reachable cfg b.label then
+        (* Distinct successor pairs only: a conditional branch with both arms
+           on the same target is one edge for φ purposes. *)
+        List.iter
+          (fun s ->
+            if is_critical cfg ~src:b.label ~dst:s then
+              edges := (b.label, s) :: !edges)
+          (Cfg.succs cfg b.label))
+    f.blocks;
+  List.rev !edges
+
+let count_critical f = List.length (critical_edges f)
+
+let run (f : Mir.func) =
+  match critical_edges f with
+  | [] -> f
+  | edges ->
+    let n = Mir.num_blocks f in
+    (* Assign a fresh label per critical edge. *)
+    let fresh = Hashtbl.create (List.length edges) in
+    List.iteri (fun i e -> Hashtbl.add fresh e (n + i)) edges;
+    let blocks =
+      Array.init
+        (n + List.length edges)
+        (fun l ->
+          if l < n then begin
+            let b = f.blocks.(l) in
+            (* Retarget this block's outgoing critical edges... *)
+            let term =
+              Mir.map_successors
+                (fun s ->
+                  match Hashtbl.find_opt fresh (l, s) with
+                  | Some mid -> mid
+                  | None -> s)
+                b.term
+            in
+            (* ...and re-key φ arguments arriving over split edges. *)
+            let phis =
+              List.map
+                (fun (p : Mir.phi) ->
+                  {
+                    p with
+                    args =
+                      List.map
+                        (fun (pl, op) ->
+                          match Hashtbl.find_opt fresh (pl, l) with
+                          | Some mid -> (mid, op)
+                          | None -> (pl, op))
+                        p.args;
+                  })
+                b.phis
+            in
+            { b with term; phis }
+          end
+          else begin
+            let src, dst = List.nth edges (l - n) in
+            ignore src;
+            { Mir.label = l; phis = []; body = []; term = Jump dst }
+          end)
+    in
+    Mir.with_blocks f blocks

@@ -1,0 +1,17 @@
+(** Critical-edge splitting.
+
+    An edge (a, b) is critical when [a] has several successors and [b] has
+    several predecessors. Copies that instantiate a φ argument flowing along
+    such an edge can be placed neither at the end of [a] (they would execute
+    on a's other paths) nor at the start of [b] (they would clobber values
+    arriving from b's other predecessors) — this is the {e lost-copy
+    problem}. The paper (Section 3.6) avoids it by splitting every critical
+    edge up front, which is what this pass does. *)
+
+val is_critical : Cfg.t -> src:Mir.label -> dst:Mir.label -> bool
+
+val count_critical : Mir.func -> int
+
+val run : Mir.func -> Mir.func
+(** Insert a fresh jump-only block on every critical edge and retarget the
+    corresponding φ-argument labels. Idempotent. *)

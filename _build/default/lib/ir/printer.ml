@@ -1,0 +1,63 @@
+let pp_value ppf = function
+  | Mir.Int i -> Format.fprintf ppf "%d" i
+  | Mir.Float x -> Format.fprintf ppf "%g" x
+
+let pp_reg f ppf r = Format.pp_print_string ppf (Mir.reg_name f r)
+
+let pp_operand f ppf = function
+  | Mir.Reg r -> pp_reg f ppf r
+  | Mir.Const v -> pp_value ppf v
+
+let binop_name = function
+  | Mir.Add -> "add" | Sub -> "sub" | Mul -> "mul" | Div -> "div" | Mod -> "mod"
+  | Flt_add -> "fadd" | Flt_sub -> "fsub" | Flt_mul -> "fmul" | Flt_div -> "fdiv"
+  | Lt -> "lt" | Le -> "le" | Gt -> "gt" | Ge -> "ge" | Eq -> "eq" | Ne -> "ne"
+  | And -> "and" | Or -> "or"
+
+let unop_name = function
+  | Mir.Neg -> "neg" | Not -> "not"
+  | Int_to_float -> "i2f" | Float_to_int -> "f2i"
+
+let pp_instr f ppf = function
+  | Mir.Copy { dst; src } ->
+    Format.fprintf ppf "%a := %a" (pp_reg f) dst (pp_operand f) src
+  | Unop { op; dst; src } ->
+    Format.fprintf ppf "%a := %s %a" (pp_reg f) dst (unop_name op)
+      (pp_operand f) src
+  | Binop { op; dst; l; r } ->
+    Format.fprintf ppf "%a := %s %a, %a" (pp_reg f) dst (binop_name op)
+      (pp_operand f) l (pp_operand f) r
+  | Load { dst; arr; idx } ->
+    Format.fprintf ppf "%a := %s[%a]" (pp_reg f) dst arr (pp_operand f) idx
+  | Store { arr; idx; src } ->
+    Format.fprintf ppf "%s[%a] := %a" arr (pp_operand f) idx (pp_operand f) src
+
+let pp_phi f ppf (p : Mir.phi) =
+  Format.fprintf ppf "%a := phi" (pp_reg f) p.dst;
+  List.iter
+    (fun (l, op) -> Format.fprintf ppf " [b%d: %a]" l (pp_operand f) op)
+    p.args
+
+let pp_terminator f ppf = function
+  | Mir.Jump l -> Format.fprintf ppf "jump b%d" l
+  | Branch { cond; if_true; if_false } ->
+    Format.fprintf ppf "br %a, b%d, b%d" (pp_operand f) cond if_true if_false
+  | Return (Some op) -> Format.fprintf ppf "ret %a" (pp_operand f) op
+  | Return None -> Format.fprintf ppf "ret"
+
+let pp_block f ppf (b : Mir.block) =
+  Format.fprintf ppf "@[<v 2>b%d:" b.label;
+  List.iter (fun p -> Format.fprintf ppf "@,%a" (pp_phi f) p) b.phis;
+  List.iter (fun i -> Format.fprintf ppf "@,%a" (pp_instr f) i) b.body;
+  Format.fprintf ppf "@,%a@]" (pp_terminator f) b.term
+
+let pp_func ppf (f : Mir.func) =
+  Format.fprintf ppf "@[<v>func %s(%a) {  # entry b%d@," f.name
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       (pp_reg f))
+    f.params f.entry;
+  Array.iter (fun b -> Format.fprintf ppf "%a@," (pp_block f) b) f.blocks;
+  Format.fprintf ppf "}@]"
+
+let func_to_string f = Format.asprintf "%a" pp_func f

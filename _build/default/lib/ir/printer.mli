@@ -1,0 +1,11 @@
+(** Textual rendering of the IR, for debugging, tests and examples. *)
+
+val pp_value : Format.formatter -> Mir.value -> unit
+val pp_operand : Mir.func -> Format.formatter -> Mir.operand -> unit
+val pp_instr : Mir.func -> Format.formatter -> Mir.instr -> unit
+val pp_phi : Mir.func -> Format.formatter -> Mir.phi -> unit
+val pp_terminator : Mir.func -> Format.formatter -> Mir.terminator -> unit
+val pp_block : Mir.func -> Format.formatter -> Mir.block -> unit
+val pp_func : Format.formatter -> Mir.func -> unit
+
+val func_to_string : Mir.func -> string

@@ -1,0 +1,297 @@
+open Support
+module Cfg = Ir.Cfg
+module Liveness = Analysis.Liveness
+module Dominance = Analysis.Dominance
+module Loops = Analysis.Loops
+module Igraph = Baseline.Igraph
+
+type spill_metric = Cost_over_degree | Plain_cost
+
+type options = {
+  registers : int;
+  spill_metric : spill_metric;
+  max_rounds : int;
+}
+
+let default_options =
+  { registers = 8; spill_metric = Cost_over_degree; max_rounds = 16 }
+
+type stats = {
+  rounds : int;
+  spilled_ranges : int;
+  spill_loads : int;
+  spill_stores : int;
+  colors_used : int;
+}
+
+type result = {
+  func : Ir.func;
+  assignment : int array;
+  stats : stats;
+}
+
+exception Out_of_rounds of string
+
+let spill_array = "$spill"
+
+(* Loop-depth-weighted occurrence counts: the classic 10^depth estimate of
+   dynamic frequency. *)
+let spill_costs (f : Ir.func) cfg =
+  let dom = Dominance.compute f cfg in
+  let loops = Loops.compute cfg dom in
+  let cost = Array.make f.nregs 0.0 in
+  let weight l = 10.0 ** float_of_int (Loops.depth loops l) in
+  Array.iter
+    (fun (b : Ir.block) ->
+      let w = weight b.label in
+      let charge r = cost.(r) <- cost.(r) +. w in
+      List.iter
+        (fun i ->
+          List.iter charge (Ir.uses i);
+          Option.iter charge (Ir.def i))
+        b.body;
+      List.iter charge (Ir.term_uses b.term))
+    f.blocks;
+  cost
+
+(* One simplify/select attempt. Returns the coloring, or the registers that
+   must be spilled. [is_temp] marks spill temporaries, whose live ranges are
+   already minimal: re-spilling them cannot reduce pressure, so they get
+   infinite cost and are chosen only when nothing else remains. *)
+let try_color ~options ~is_temp (f : Ir.func) graph costs =
+  let n = f.nregs in
+  let k = options.registers in
+  let degree = Array.init n (fun r -> Igraph.degree graph r) in
+  let removed = Array.make n false in
+  let stack = ref [] in
+  let remaining = ref n in
+  let remove r =
+    removed.(r) <- true;
+    stack := r :: !stack;
+    decr remaining;
+    List.iter
+      (fun x -> if not removed.(x) then degree.(x) <- degree.(x) - 1)
+      (Igraph.neighbors graph r)
+  in
+  while !remaining > 0 do
+    (* Simplify: any node of insignificant degree. *)
+    let found = ref false in
+    for r = 0 to n - 1 do
+      if (not removed.(r)) && degree.(r) < k && not !found then begin
+        found := true;
+        remove r
+      end
+    done;
+    if not !found then begin
+      (* Spill candidate: cheapest by the chosen metric, pushed anyway —
+         Briggs' optimistic coloring gives it a chance in select. *)
+      let best = ref (-1) in
+      let best_m = ref infinity in
+      let consider ~temps_only =
+        for r = 0 to n - 1 do
+          if (not removed.(r)) && is_temp r = temps_only then begin
+            let m =
+              match options.spill_metric with
+              | Plain_cost -> costs.(r)
+              | Cost_over_degree -> costs.(r) /. float_of_int (max 1 degree.(r))
+            in
+            if !best < 0 || m < !best_m then begin
+              best_m := m;
+              best := r
+            end
+          end
+        done
+      in
+      consider ~temps_only:false;
+      if !best < 0 then consider ~temps_only:true;
+      remove !best
+    end
+  done;
+  (* Select. *)
+  let colors = Array.make n (-1) in
+  let spills = ref [] in
+  List.iter
+    (fun r ->
+      let used = Array.make k false in
+      List.iter
+        (fun x -> if colors.(x) >= 0 && colors.(x) < k then used.(colors.(x)) <- true)
+        (Igraph.neighbors graph r);
+      let rec first c = if c >= k then None else if used.(c) then first (c + 1) else Some c in
+      match first 0 with
+      | Some c -> colors.(r) <- c
+      | None -> spills := r :: !spills)
+    !stack;
+  if !spills = [] then Ok colors else Error !spills
+
+(* Rewrite spilled registers: every definition goes to a fresh temporary
+   followed by a store to the register's slot; every use becomes a load into
+   a fresh temporary. Parameters are stored at function entry. *)
+let insert_spill_code (f : Ir.func) spills ~slot_of ~loads ~stores =
+  let next = ref f.nregs in
+  let hints = ref f.hints in
+  let fresh base =
+    let r = !next in
+    incr next;
+    hints := Imap.add r (Printf.sprintf "%s%d" base r) !hints;
+    r
+  in
+  let is_spilled r = Imap.mem r spills in
+  let slot r = Ir.Const (Ir.Int (slot_of r)) in
+  let rewrite_instr i =
+    (* Loads for spilled uses. *)
+    let pre = ref [] in
+    let subst = Hashtbl.create 4 in
+    List.iter
+      (fun r ->
+        if is_spilled r && not (Hashtbl.mem subst r) then begin
+          let t = fresh "ld" in
+          Hashtbl.add subst r t;
+          incr loads;
+          pre := Ir.Load { dst = t; arr = spill_array; idx = slot r } :: !pre
+        end)
+      (Ir.uses i);
+    let i =
+      Ir.map_instr_uses
+        (fun r ->
+          match Hashtbl.find_opt subst r with
+          | Some t -> Ir.Reg t
+          | None -> Ir.Reg r)
+        i
+    in
+    (* Store for a spilled definition. *)
+    match Ir.def i with
+    | Some d when is_spilled d ->
+      let t = fresh "st" in
+      let i = Ir.map_instr_def (fun _ -> t) i in
+      incr stores;
+      List.rev !pre
+      @ [ i; Ir.Store { arr = spill_array; idx = slot d; src = Ir.Reg t } ]
+    | _ -> List.rev !pre @ [ i ]
+  in
+  let rewrite_term term pre_acc =
+    let subst = Hashtbl.create 4 in
+    List.iter
+      (fun r ->
+        if is_spilled r && not (Hashtbl.mem subst r) then begin
+          let t = fresh "ld" in
+          Hashtbl.add subst r t;
+          incr loads;
+          pre_acc := Ir.Load { dst = t; arr = spill_array; idx = slot r } :: !pre_acc
+        end)
+      (Ir.term_uses term);
+    Ir.map_term_uses
+      (fun r ->
+        match Hashtbl.find_opt subst r with
+        | Some t -> Ir.Reg t
+        | None -> Ir.Reg r)
+      term
+  in
+  let blocks =
+    Array.map
+      (fun (b : Ir.block) ->
+        assert (b.phis = []);
+        let body = List.concat_map rewrite_instr b.body in
+        let pre_term = ref [] in
+        let term = rewrite_term b.term pre_term in
+        let body = body @ List.rev !pre_term in
+        let body =
+          if b.label = f.entry then begin
+            (* Spilled parameters are stored on entry. *)
+            let stores_ =
+              List.filter_map
+                (fun p ->
+                  if is_spilled p then begin
+                    incr stores;
+                    Some (Ir.Store { arr = spill_array; idx = slot p; src = Ir.Reg p })
+                  end
+                  else None)
+                f.params
+            in
+            stores_ @ body
+          end
+          else body
+        in
+        { b with body; term })
+      f.blocks
+  in
+  { f with blocks; nregs = !next; hints = !hints }
+
+let rewrite_to_colors (f : Ir.func) colors =
+  let ncolors = 1 + Array.fold_left max (-1) colors in
+  let color r = colors.(r) in
+  let hints =
+    List.fold_left
+      (fun acc c -> Imap.add c (Printf.sprintf "R%d" c) acc)
+      Imap.empty
+      (List.init (max 1 ncolors) (fun c -> c))
+  in
+  let blocks =
+    Array.map
+      (fun (b : Ir.block) ->
+        let body =
+          List.filter_map
+            (fun i ->
+              let i =
+                Ir.map_instr_def color
+                  (Ir.map_instr_uses (fun r -> Ir.Reg (color r)) i)
+              in
+              (* Allocation may map a copy's ends to one register; drop it. *)
+              match i with
+              | Ir.Copy { dst; src = Ir.Reg s } when dst = s -> None
+              | _ -> Some i)
+            b.body
+        in
+        let term = Ir.map_term_uses (fun r -> Ir.Reg (color r)) b.term in
+        { b with body; term })
+      f.blocks
+  in
+  ( { f with blocks; params = List.map color f.params; nregs = max 1 ncolors; hints },
+    ncolors )
+
+let run ?(options = default_options) (f0 : Ir.func) =
+  if options.registers < 2 then invalid_arg "Regalloc: need at least 2 registers";
+  Array.iter
+    (fun (b : Ir.block) ->
+      if b.phis <> [] then invalid_arg "Regalloc: function has phi-nodes")
+    f0.blocks;
+  let loads = ref 0 and stores = ref 0 in
+  let spilled_total = ref 0 in
+  let next_slot = ref 0 in
+  let rec round f i =
+    if i > options.max_rounds then
+      raise (Out_of_rounds (Printf.sprintf "%s: no %d-coloring after %d rounds"
+               f0.Ir.name options.registers options.max_rounds));
+    let cfg = Cfg.of_func f in
+    let live = Liveness.compute f cfg in
+    let graph = Igraph.build_full f cfg live in
+    let costs = spill_costs f cfg in
+    match try_color ~options ~is_temp:(fun r -> r >= f0.Ir.nregs) f graph costs with
+    | Ok colors -> (f, colors, i)
+    | Error spills ->
+      spilled_total := !spilled_total + List.length spills;
+      let spill_map =
+        List.fold_left
+          (fun acc r ->
+            let s = !next_slot in
+            incr next_slot;
+            Imap.add r s acc)
+          Imap.empty spills
+      in
+      let slot_of r = Imap.find r spill_map in
+      let f = insert_spill_code f spill_map ~slot_of ~loads ~stores in
+      round f (i + 1)
+  in
+  let f, colors, rounds = round f0 1 in
+  let func, colors_used = rewrite_to_colors f colors in
+  {
+    func;
+    assignment = colors;
+    stats =
+      {
+        rounds;
+        spilled_ranges = !spilled_total;
+        spill_loads = !loads;
+        spill_stores = !stores;
+        colors_used;
+      };
+  }

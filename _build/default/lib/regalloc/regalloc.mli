@@ -1,0 +1,49 @@
+(** A Chaitin/Briggs graph-coloring register allocator.
+
+    This is the consumer the paper positions its algorithm for ("design and
+    implementation of a fast register-allocation algorithm that uses the
+    results presented in this paper", Section 5): the coalescers have
+    already identified live ranges, so the allocator here only builds the
+    interference graph, simplifies with Briggs' optimistic coloring, and
+    spills with classic loop-depth-weighted costs.
+
+    Spilled values live in a reserved side array ([spill_array]), so
+    allocated code still runs under {!Interp} — which is how the tests prove
+    an allocation correct end-to-end. *)
+
+type spill_metric = Cost_over_degree | Plain_cost
+
+type options = {
+  registers : int;  (** the k of k-coloring; ≥ 2 *)
+  spill_metric : spill_metric;
+  max_rounds : int;  (** spill-and-retry rounds before giving up *)
+}
+
+val default_options : options
+
+type stats = {
+  rounds : int;
+  spilled_ranges : int;
+  spill_loads : int;
+  spill_stores : int;
+  colors_used : int;
+}
+
+type result = {
+  func : Ir.func;
+      (** rewritten so that every register id is a color in
+          [0 .. colors_used-1] *)
+  assignment : int array;
+      (** pre-rewrite register → color (index into the {e input}'s register
+          space; spill temporaries are appended) *)
+  stats : stats;
+}
+
+exception Out_of_rounds of string
+
+val spill_array : string
+(** Name of the reserved array backing spill slots. *)
+
+val run : ?options:options -> Ir.func -> result
+(** The input must be φ-free. Raises {!Out_of_rounds} if spilling fails to
+    converge within [max_rounds]. *)

@@ -1,0 +1,1 @@
+lib/ssa/dce.ml: Array Hashtbl Ir List

@@ -1,0 +1,1 @@
+lib/ssa/dce.mli: Ir

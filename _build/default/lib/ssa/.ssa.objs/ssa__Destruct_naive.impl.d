@@ -1,0 +1,1 @@
+lib/ssa/destruct_naive.ml: Array Ir List Parallel_copy Support

@@ -1,0 +1,1 @@
+lib/ssa/destruct_naive.mli: Ir

@@ -1,0 +1,1 @@
+lib/ssa/simplify.ml: Array Interp Ir List

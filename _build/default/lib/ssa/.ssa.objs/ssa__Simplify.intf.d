@@ -1,0 +1,1 @@
+lib/ssa/simplify.mli: Ir

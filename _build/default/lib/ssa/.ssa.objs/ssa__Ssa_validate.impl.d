@@ -1,0 +1,1 @@
+lib/ssa/ssa_validate.ml: Analysis Array Format Ir List Option Printf String

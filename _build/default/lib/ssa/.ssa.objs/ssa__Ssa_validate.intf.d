@@ -1,0 +1,1 @@
+lib/ssa/ssa_validate.mli: Ir

@@ -1,0 +1,32 @@
+(** SSA construction (Cytron et al.) with the engineering choices the paper
+    assumes.
+
+    φ-placement flavours:
+    - {b Minimal}: φ at every iterated-dominance-frontier block of each
+      variable's definition sites.
+    - {b Semi_pruned}: only for variables that are upward-exposed in some
+      block (Briggs et al.'s "non-local names").
+    - {b Pruned}: only where the variable is live-in — what the paper builds
+      ("we build pruned SSA to make the reasoning simpler").
+
+    [fold_copies] enables copy folding during renaming: a [Copy] whose
+    source is available is deleted and its destination's uses rewritten to
+    the source operand, so the only copies that survive to the φ-congruence
+    world are the ones φ-instantiation will have to reinsert — exactly the
+    setup of the paper's optimistic algorithm. *)
+
+type pruning = Minimal | Semi_pruned | Pruned
+
+type stats = {
+  phis_inserted : int;
+  copies_folded : int;
+}
+
+val run :
+  ?pruning:pruning -> ?fold_copies:bool -> Ir.func -> Ir.func * stats
+(** Convert a strict function to SSA form. Default [pruning] is [Pruned],
+    default [fold_copies] is [true]. The input must pass
+    {!Ir.Validate.run}. *)
+
+val run_exn : ?pruning:pruning -> ?fold_copies:bool -> Ir.func -> Ir.func
+(** {!run} without the statistics. *)

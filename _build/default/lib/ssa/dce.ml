@@ -1,0 +1,95 @@
+module Cfg = Ir.Cfg
+
+type stats = {
+  removed_instrs : int;
+  removed_phis : int;
+}
+
+let run (f : Ir.func) =
+  let cfg = Cfg.of_func f in
+  (* Map each register to its defining instruction's operand registers, so
+     marking can walk backwards without re-scanning blocks. *)
+  let producers : (Ir.reg, Ir.reg list) Hashtbl.t = Hashtbl.create 64 in
+  Array.iter
+    (fun (b : Ir.block) ->
+      if Cfg.reachable cfg b.label then begin
+        List.iter
+          (fun (p : Ir.phi) ->
+            let args =
+              List.concat_map (fun (_, op) -> Ir.operand_uses op) p.args
+            in
+            Hashtbl.replace producers p.dst args)
+          b.phis;
+        List.iter
+          (fun i ->
+            match Ir.def i with
+            | Some d -> Hashtbl.replace producers d (Ir.uses i)
+            | None -> ())
+          b.body
+      end)
+    f.blocks;
+  let live = Array.make f.nregs false in
+  let rec mark r =
+    if r >= 0 && r < f.nregs && not live.(r) then begin
+      live.(r) <- true;
+      match Hashtbl.find_opt producers r with
+      | Some args -> List.iter mark args
+      | None -> ()
+    end
+  in
+  (* Roots: memory writes, terminators, and anything a Store consumes. *)
+  Array.iter
+    (fun (b : Ir.block) ->
+      if Cfg.reachable cfg b.label then begin
+        List.iter
+          (fun i ->
+            match i with
+            | Ir.Store _ -> List.iter mark (Ir.uses i)
+            | Ir.Load _ ->
+              (* Loads are pure here (no volatile memory), so they die with
+                 their result like any other instruction. *)
+              ()
+            | Ir.Copy _ | Ir.Unop _ | Ir.Binop _ -> ())
+          b.body;
+        List.iter mark (Ir.term_uses b.term)
+      end)
+    f.blocks;
+  List.iter mark f.params;
+  let removed_instrs = ref 0 in
+  let removed_phis = ref 0 in
+  let blocks =
+    Array.map
+      (fun (b : Ir.block) ->
+        if not (Cfg.reachable cfg b.label) then b
+        else begin
+          let phis =
+            List.filter
+              (fun (p : Ir.phi) ->
+                let keep = live.(p.dst) in
+                if not keep then incr removed_phis;
+                keep)
+              b.phis
+          in
+          let body =
+            List.filter
+              (fun i ->
+                let keep =
+                  match i with
+                  | Ir.Store _ -> true
+                  | _ -> (
+                    match Ir.def i with
+                    | Some d -> live.(d)
+                    | None -> true)
+                in
+                if not keep then incr removed_instrs;
+                keep)
+              b.body
+          in
+          { b with phis; body }
+        end)
+      f.blocks
+  in
+  ( { f with blocks },
+    { removed_instrs = !removed_instrs; removed_phis = !removed_phis } )
+
+let run_exn f = fst (run f)

@@ -1,0 +1,22 @@
+(** Dead-code elimination on SSA form.
+
+    The paper imposes strictness by initializing variables at the entry and
+    notes that "the initializations that are unnecessary can then be removed
+    by a dead-code elimination pass" (Section 2). This is that pass: a
+    standard mark/sweep over SSA def-use chains. Stores, returns and
+    branches are the roots; an instruction or φ-node survives only if its
+    result (transitively) feeds a root. Control flow is never altered.
+
+    Running it before coalescing shrinks φ pressure (dead φs from minimal
+    SSA disappear), which is also how the less precise SSA flavours recover
+    some of pruned SSA's advantage. *)
+
+type stats = {
+  removed_instrs : int;
+  removed_phis : int;
+}
+
+val run : Ir.func -> Ir.func * stats
+(** Input must be valid SSA (unique definitions). Output is SSA. *)
+
+val run_exn : Ir.func -> Ir.func

@@ -1,0 +1,62 @@
+module Cfg = Ir.Cfg
+
+type stats = {
+  copies_inserted : int;
+  temps_inserted : int;
+}
+
+let run (f : Ir.func) =
+  let cfg = Cfg.of_func f in
+  let next = ref f.nregs in
+  let hints = ref f.hints in
+  let temps = ref 0 in
+  let fresh ?name () =
+    let r = !next in
+    incr next;
+    incr temps;
+    (match name with
+    | Some n -> hints := Support.Imap.add r n !hints
+    | None -> ());
+    r
+  in
+  (* Pending copy lists per predecessor block — the paper's Waiting array. *)
+  let waiting : Parallel_copy.move list array =
+    Array.make (Ir.num_blocks f) []
+  in
+  Array.iter
+    (fun (b : Ir.block) ->
+      if Cfg.reachable cfg b.label then
+        List.iter
+          (fun (p : Ir.phi) ->
+            List.iter
+              (fun (pl, op) ->
+                if
+                  List.length p.args > 1
+                  && Ir.Edge_split.is_critical cfg ~src:pl ~dst:b.label
+                then
+                  invalid_arg
+                    "Destruct_naive: critical edge carries a phi argument \
+                     (run Ir.Edge_split first)";
+                waiting.(pl) <- { Parallel_copy.dst = p.dst; src = op } :: waiting.(pl))
+              p.args)
+          b.phis)
+    f.blocks;
+  let copies = ref 0 in
+  let blocks =
+    Array.map
+      (fun (b : Ir.block) ->
+        let inserted =
+          match waiting.(b.label) with
+          | [] -> []
+          | moves ->
+            let seq = Parallel_copy.sequentialize ~fresh (List.rev moves) in
+            copies := !copies + List.length seq;
+            seq
+        in
+        { b with phis = []; body = b.body @ inserted })
+      f.blocks
+  in
+  ( { f with blocks; nregs = !next; hints = !hints },
+    { copies_inserted = !copies; temps_inserted = !temps } )
+
+let run_exn f = fst (run f)

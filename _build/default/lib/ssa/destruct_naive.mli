@@ -1,0 +1,20 @@
+(** The {b Standard} baseline: Briggs et al.'s φ-node instantiation with no
+    attempt to eliminate copies.
+
+    Every φ argument becomes a copy at the end of the corresponding
+    predecessor (critical edges must have been split first — see
+    {!Ir.Edge_split}); the copies of each edge are treated as one parallel
+    copy and sequentialized, which is the "careful ordering with temporaries
+    to break cycles" the paper credits to Briggs et al. for the lost-copy
+    and swap problems. *)
+
+type stats = {
+  copies_inserted : int;
+  temps_inserted : int;
+}
+
+val run : Ir.func -> Ir.func * stats
+(** Remove all φ-nodes. Raises [Invalid_argument] if the function still has
+    critical edges carrying φ arguments. *)
+
+val run_exn : Ir.func -> Ir.func

@@ -1,0 +1,97 @@
+type move = {
+  dst : Ir.reg;
+  src : Ir.operand;
+}
+
+let real_moves moves =
+  (* Drop identity moves; they are no-ops whatever the order. *)
+  List.filter (fun m -> m.src <> Ir.Reg m.dst) moves
+
+let check_distinct moves =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun m ->
+      if Hashtbl.mem seen m.dst then
+        invalid_arg "Parallel_copy: duplicate destination";
+      Hashtbl.add seen m.dst ())
+    moves
+
+let sequentialize ~(fresh : ?name:string -> unit -> Ir.reg) moves =
+  let moves = real_moves moves in
+  check_distinct moves;
+  let pred : (Ir.reg, Ir.operand) Hashtbl.t = Hashtbl.create 8 in
+  let loc : (Ir.reg, Ir.reg) Hashtbl.t = Hashtbl.create 8 in
+  let emitted : (Ir.reg, unit) Hashtbl.t = Hashtbl.create 8 in
+  List.iter (fun m -> Hashtbl.replace pred m.dst m.src) moves;
+  List.iter
+    (fun m ->
+      match m.src with
+      | Ir.Reg a -> Hashtbl.replace loc a a
+      | Ir.Const _ -> ())
+    moves;
+  let out = ref [] in
+  let emit dst src = out := Ir.Copy { dst; src } :: !out in
+  let ready = ref [] in
+  List.iter
+    (fun m -> if not (Hashtbl.mem loc m.dst) then ready := m.dst :: !ready)
+    moves;
+  let todo = ref (List.map (fun m -> m.dst) moves) in
+  let process_ready () =
+    while !ready <> [] do
+      match !ready with
+      | [] -> ()
+      | b :: rest ->
+        ready := rest;
+        Hashtbl.replace emitted b ();
+        (match Hashtbl.find pred b with
+        | Ir.Const _ as c -> emit b c
+        | Ir.Reg a ->
+          let c = Hashtbl.find loc a in
+          emit b (Ir.Reg c);
+          Hashtbl.replace loc a b;
+          (* If a's value was still in a, register a is now free; if a is
+             itself a pending destination it becomes writable. *)
+          if a = c && Hashtbl.mem pred a && not (Hashtbl.mem emitted a) then
+            ready := a :: !ready)
+    done
+  in
+  process_ready ();
+  while !todo <> [] do
+    match !todo with
+    | [] -> ()
+    | b :: rest ->
+      todo := rest;
+      if not (Hashtbl.mem emitted b) then begin
+        (* b is part of a register cycle: save its current value in a fresh
+           temporary so b becomes writable, then drain the cycle. *)
+        let t = fresh ~name:"pcopy" () in
+        emit t (Ir.Reg b);
+        Hashtbl.replace loc b t;
+        ready := [ b ];
+        process_ready ()
+      end
+  done;
+  List.rev !out
+
+let needs_temp moves =
+  let moves = real_moves moves in
+  (* A cycle exists iff following dst → src(dst) from some dst returns to
+     it without hitting a constant or a non-destination register. *)
+  let pred = Hashtbl.create 8 in
+  List.iter (fun m -> Hashtbl.replace pred m.dst m.src) moves;
+  let exception Cycle in
+  try
+    List.iter
+      (fun m ->
+        let visited = Hashtbl.create 4 in
+        let rec follow r =
+          if Hashtbl.mem visited r then raise Cycle;
+          Hashtbl.add visited r ();
+          match Hashtbl.find_opt pred r with
+          | Some (Ir.Reg s) -> follow s
+          | Some (Ir.Const _) | None -> ()
+        in
+        follow m.dst)
+      moves;
+    false
+  with Cycle -> true

@@ -1,0 +1,34 @@
+(** Scalar simplification on SSA form: constant folding, copy propagation,
+    algebraic identities, and φ-collapsing.
+
+    This is the "optimizer's SSA implementation" context the paper places
+    itself in ("it can replace the current copy-insertion phase of an
+    optimizer's SSA implementation"): a round-based rewriter that
+
+    - folds operations whose operands are constants (with the same
+      arithmetic as {!Interp}, including leaving division by a constant
+      zero untouched so faulting programs still fault);
+    - propagates copies ([x := y] makes later uses of [x] read [y] — the
+      same substitution copy folding performs during construction, as a
+      standalone pass);
+    - applies safe identities ([x + 0], [x * 1], [x * 0], [x - x], …);
+    - collapses φ-nodes whose arguments are all identical (or the φ target
+      itself), which appear after the other rewrites.
+
+    Rounds repeat until a fixpoint. Control flow is never changed, so the
+    pass composes with {!Dce} for cleanup rather than deleting dead code
+    itself. *)
+
+type stats = {
+  folded : int;  (** instructions turned into constants *)
+  identities : int;  (** algebraic simplifications *)
+  copies_propagated : int;
+  phis_collapsed : int;
+  rounds : int;
+}
+
+val run : Ir.func -> Ir.func * stats
+(** Input must be valid SSA; output is valid SSA with the same behaviour
+    (including faults). *)
+
+val run_exn : Ir.func -> Ir.func

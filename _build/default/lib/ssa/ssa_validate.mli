@@ -1,0 +1,10 @@
+(** Checks that a function is in {e regular} SSA form (the paper's
+    Section 2): every register has a unique definition point, every ordinary
+    use is dominated by its definition, and every φ argument's definition
+    dominates the predecessor block its value flows out of. *)
+
+val run : Ir.func -> Ir.Validate.error list
+(** Empty list means the function is regular SSA. Includes the structural
+    checks of {!Ir.Validate.structure}. *)
+
+val check_exn : Ir.func -> unit

@@ -1,0 +1,1 @@
+lib/support/imap.ml: Int Map

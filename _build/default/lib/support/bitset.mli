@@ -1,0 +1,50 @@
+(** Fixed-capacity sets of small integers backed by a [Bytes.t] bit vector.
+
+    Used for the live-in/live-out sets of the liveness analysis and the
+    transient live sets of interference-graph construction. Capacity is fixed
+    at creation; elements are [0 .. capacity-1]. *)
+
+type t
+
+val create : int -> t
+(** [create n] is the empty set with capacity [n]. *)
+
+val capacity : t -> int
+
+val mem : t -> int -> bool
+val add : t -> int -> unit
+val remove : t -> int -> unit
+val clear : t -> unit
+val copy : t -> t
+
+val cardinal : t -> int
+(** Number of elements. O(capacity/8). *)
+
+val equal : t -> t -> bool
+(** Structural equality of contents; capacities must match. *)
+
+val union_into : dst:t -> t -> bool
+(** [union_into ~dst src] adds all of [src] to [dst]; returns [true] iff
+    [dst] changed. Capacities must match. *)
+
+val diff_into : dst:t -> t -> unit
+(** [diff_into ~dst src] removes all of [src] from [dst]. *)
+
+val inter_into : dst:t -> t -> unit
+(** [inter_into ~dst src] keeps in [dst] only elements also in [src]. *)
+
+val blit : src:t -> dst:t -> unit
+(** Overwrite [dst] with the contents of [src]. *)
+
+val iter : (int -> unit) -> t -> unit
+(** Iterate elements in increasing order. *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val elements : t -> int list
+val is_empty : t -> bool
+val of_list : int -> int list -> t
+
+val memory_bytes : t -> int
+(** Bytes of backing storage, for the memory-accounting experiments. *)
+
+val pp : Format.formatter -> t -> unit

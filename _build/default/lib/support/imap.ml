@@ -1,0 +1,2 @@
+(* Maps keyed by [int]. *)
+include Map.Make (Int)

@@ -1,0 +1,2 @@
+(* Sets of [int]. *)
+include Set.Make (Int)

@@ -1,0 +1,37 @@
+(** Disjoint-set forests with union by rank and path compression.
+
+    This is the union-find structure the paper relies on for grouping φ-node
+    names into candidate live ranges (Section 3); all operations run in
+    amortized O(α(n)) time, which is what gives the coalescer its overall
+    O(n·α(n)) bound. Elements are dense non-negative integers. *)
+
+type t
+
+val create : int -> t
+(** [create n] is a fresh structure over elements [0 .. n-1], each in its own
+    singleton set. *)
+
+val length : t -> int
+(** Number of elements (not sets). *)
+
+val grow : t -> int -> t
+(** [grow t n] is a structure over [0 .. n-1] preserving the sets of [t].
+    Raises [Invalid_argument] if [n < length t]. The result may share state
+    with [t]. *)
+
+val find : t -> int -> int
+(** [find t x] is the canonical representative of [x]'s set. *)
+
+val union : t -> int -> int -> int
+(** [union t x y] merges the sets of [x] and [y] and returns the
+    representative of the merged set. *)
+
+val same : t -> int -> int -> bool
+(** [same t x y] iff [x] and [y] are currently in the same set. *)
+
+val count_sets : t -> int
+(** Number of distinct sets. O(n). *)
+
+val groups : t -> (int * int list) list
+(** [groups t] lists every set with at least two members as
+    [(representative, members)]; members are in increasing order. O(n). *)

@@ -1,0 +1,43 @@
+type 'a t = {
+  mutable data : 'a array;
+  mutable len : int;
+}
+
+let create () = { data = [||]; len = 0 }
+
+let length t = t.len
+
+let check t i = if i < 0 || i >= t.len then invalid_arg "Vec: index out of range"
+
+let get t i =
+  check t i;
+  t.data.(i)
+
+let set t i x =
+  check t i;
+  t.data.(i) <- x
+
+let push t x =
+  if t.len = Array.length t.data then begin
+    let cap = max 8 (2 * t.len) in
+    let data = Array.make cap x in
+    Array.blit t.data 0 data 0 t.len;
+    t.data <- data
+  end;
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1
+
+let to_array t = Array.sub t.data 0 t.len
+let to_list t = Array.to_list (to_array t)
+
+let of_array a = { data = Array.copy a; len = Array.length a }
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.data.(i)
+  done
+
+let iteri f t =
+  for i = 0 to t.len - 1 do
+    f i t.data.(i)
+  done

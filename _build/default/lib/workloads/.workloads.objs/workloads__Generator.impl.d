@@ -1,0 +1,1 @@
+lib/workloads/generator.ml: Frontend Int64 List Printf

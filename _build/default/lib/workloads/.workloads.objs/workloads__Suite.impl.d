@@ -1,0 +1,1 @@
+lib/workloads/suite.ml: Frontend Generator Ir Kernels List Printf

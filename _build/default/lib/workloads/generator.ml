@@ -1,0 +1,152 @@
+type config = {
+  seed : int;
+  size : int;
+  max_depth : int;
+  num_vars : int;
+}
+
+let default = { seed = 42; size = 40; max_depth = 3; num_vars = 8 }
+
+(* Small explicit linear-congruential PRNG so generation is reproducible
+   across OCaml versions and independent of the global Random state. *)
+type rng = { mutable state : int64 }
+
+let rng_make seed = { state = Int64.of_int (seed * 2 + 1) }
+
+let rand rng bound =
+  rng.state <-
+    Int64.add (Int64.mul rng.state 6364136223846793005L) 1442695040888963407L;
+  let x = Int64.to_int (Int64.shift_right_logical rng.state 33) in
+  x mod bound
+
+let pick rng l = List.nth l (rand rng (List.length l))
+
+let var_name i = Printf.sprintf "v%d" i
+
+let generate cfg =
+  let rng = rng_make cfg.seed in
+  let var () = Frontend.Ast.Var (var_name (rand rng cfg.num_vars)) in
+  let arr_names = [ "a0"; "a1"; "a2" ] in
+  (* Expressions: no division (faults), indices wrapped with % to stay in
+     bounds, depth-bounded. *)
+  let rec expr depth =
+    match rand rng (if depth = 0 then 3 else 7) with
+    | 0 -> Frontend.Ast.Int (rand rng 20 - 5)
+    | 1 | 2 -> var ()
+    | 3 ->
+      Frontend.Ast.Binary
+        (pick rng [ Frontend.Ast.Add; Frontend.Ast.Sub; Frontend.Ast.Mul ], expr (depth - 1), expr (depth - 1))
+    | 4 -> Frontend.Ast.Unary (Frontend.Ast.Neg, expr (depth - 1))
+    | 5 -> Frontend.Ast.Index (pick rng arr_names, index_expr ())
+    | _ ->
+      Frontend.Ast.Binary
+        (pick rng [ Frontend.Ast.Lt; Frontend.Ast.Le; Frontend.Ast.Gt; Frontend.Ast.Eq ], expr (depth - 1), expr (depth - 1))
+  and index_expr () =
+    (* ((e % 64) + 64) % 64 stays within any array of ≥ 64 cells even for
+       negative e. *)
+    let e = expr 1 in
+    Frontend.Ast.Binary (Frontend.Ast.Mod, Frontend.Ast.Binary (Frontend.Ast.Add, Frontend.Ast.Binary (Frontend.Ast.Mod, e, Frontend.Ast.Int 64), Frontend.Ast.Int 64), Frontend.Ast.Int 64)
+  in
+  let cond () =
+    Frontend.Ast.Binary (pick rng [ Frontend.Ast.Lt; Frontend.Ast.Le; Frontend.Ast.Gt; Frontend.Ast.Ne ], expr 1, expr 1)
+  in
+  let counter = ref 0 in
+  let fresh_counter () =
+    incr counter;
+    Printf.sprintf "c%d" !counter
+  in
+  let rec stmts depth budget : Frontend.Ast.stmt list =
+    if budget <= 0 then []
+    else begin
+      let s, used =
+        match rand rng 12 with
+        | 0 | 1 | 2 ->
+          (* plain assignment *)
+          ([ Frontend.Ast.Assign (var_name (rand rng cfg.num_vars), expr 2) ], 1)
+        | 3 | 4 ->
+          (* copy chain: the bread and butter of coalescing *)
+          let a = rand rng cfg.num_vars in
+          let b = rand rng cfg.num_vars in
+          let c = rand rng cfg.num_vars in
+          ( [
+              Frontend.Ast.Assign (var_name b, Frontend.Ast.Var (var_name a));
+              Frontend.Ast.Assign (var_name c, Frontend.Ast.Var (var_name b));
+            ],
+            2 )
+        | 5 ->
+          (* swap through a temporary *)
+          let a = var_name (rand rng cfg.num_vars) in
+          let b = var_name (rand rng cfg.num_vars) in
+          ( [
+              Frontend.Ast.Assign ("tswap", Frontend.Ast.Var a);
+              Frontend.Ast.Assign (a, Frontend.Ast.Var b);
+              Frontend.Ast.Assign (b, Frontend.Ast.Var "tswap");
+            ],
+            2 )
+        | 6 ->
+          (* array store *)
+          ([ Frontend.Ast.Store (pick rng arr_names, index_expr (), expr 2) ], 1)
+        | 7 | 8 when depth < cfg.max_depth ->
+          (* conditional, possibly with else *)
+          let t = stmts (depth + 1) (1 + rand rng 4) in
+          let e = if rand rng 2 = 0 then [] else stmts (depth + 1) (1 + rand rng 4) in
+          ([ Frontend.Ast.If (cond (), t, e) ], 2 + List.length t + List.length e)
+        | 9 | 10 when depth < cfg.max_depth ->
+          (* bounded loop with a fresh counter *)
+          let c = fresh_counter () in
+          let body = stmts (depth + 1) (1 + rand rng 5) in
+          let bound = 2 + rand rng 6 in
+          ( [
+              Frontend.Ast.Assign (c, Frontend.Ast.Int 0);
+              Frontend.Ast.While
+                ( Frontend.Ast.Binary (Frontend.Ast.Lt, Frontend.Ast.Var c, Frontend.Ast.Int bound),
+                  body @ [ Frontend.Ast.Assign (c, Frontend.Ast.Binary (Frontend.Ast.Add, Frontend.Ast.Var c, Frontend.Ast.Int 1)) ] );
+            ],
+            3 + List.length body )
+        | _ ->
+          (* conditional swap: the virtual-swap generator *)
+          let a = var_name (rand rng cfg.num_vars) in
+          let b = var_name (rand rng cfg.num_vars) in
+          ( [
+              Frontend.Ast.If
+                ( cond (),
+                  [ Frontend.Ast.Assign (a, Frontend.Ast.Var b) ],
+                  [ Frontend.Ast.Assign (b, Frontend.Ast.Var a) ] );
+            ],
+            3 )
+      in
+      s @ stmts depth (budget - used)
+    end
+  in
+  (* Seed the variable pool from the parameters so everything is strict-ish
+     even before the lowering inserts initializations. *)
+  let preamble =
+    List.init cfg.num_vars (fun i ->
+        Frontend.Ast.Assign
+          ( var_name i,
+            if i = 0 then Frontend.Ast.Var "n"
+            else if i = 1 then Frontend.Ast.Var "a"
+            else Frontend.Ast.Int (i * 3 - 4) ))
+  in
+  let body = stmts 0 cfg.size in
+  let checksum =
+    (* Return a mix of every variable so no assignment is trivially dead. *)
+    let sum =
+      List.fold_left
+        (fun acc i ->
+          Frontend.Ast.Binary
+            ( (if i mod 2 = 0 then Frontend.Ast.Add else Frontend.Ast.Sub),
+              acc,
+              Frontend.Ast.Var (var_name i) ))
+        (Frontend.Ast.Var (var_name 0))
+        (List.init (cfg.num_vars - 1) (fun i -> i + 1))
+    in
+    [ Frontend.Ast.Return (Some sum) ]
+  in
+  {
+    Frontend.Ast.name = Printf.sprintf "gen%d_%d" cfg.seed cfg.size;
+    params = [ "n"; "a" ];
+    body = preamble @ body @ checksum;
+  }
+
+let generate_ir cfg = fst (Frontend.Lower.lower (generate cfg))

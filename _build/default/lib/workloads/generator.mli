@@ -1,0 +1,26 @@
+(** Seeded random structured-program generator.
+
+    Produces mini-language ASTs that always terminate (loops are bounded
+    counters) and never fault (no division, indices reduced modulo the
+    array size), so any two pipeline outputs can be executed and compared.
+    Programs are built from the shapes that stress coalescing: copy chains,
+    swaps inside conditionals, rotations inside loops, and nested loop
+    counters.
+
+    The generator is deterministic in [seed]: property tests can shrink by
+    seed, and the scaling benchmark can sweep [size]. *)
+
+type config = {
+  seed : int;
+  size : int;  (** rough number of statements to generate *)
+  max_depth : int;  (** nesting limit for loops/conditionals *)
+  num_vars : int;  (** size of the scalar variable pool *)
+}
+
+val default : config
+
+val generate : config -> Frontend.Ast.func
+(** The function takes parameters [n] and [a]. *)
+
+val generate_ir : config -> Ir.func
+(** {!generate} followed by lowering. *)

@@ -1,0 +1,1594 @@
+(* The kernel suite.
+
+   The paper evaluates on 169 Fortran routines from Forsythe et al. and
+   SPEC/SPEC95; its tables name the routines that dominate each metric
+   (tomcatv, twldrv, saxpy, parmvrx, …). We do not have those sources, so
+   each kernel here is a mini-language routine with the control-flow
+   character its namesake is known for: loop nests, reductions, stencils
+   with boundary conditionals, triangular solves, FFT-style swaps, and
+   copy-heavy parameter shuffles. What the coalescing algorithms consume is
+   only the CFG/φ/copy structure, which these shapes exercise thoroughly
+   (see DESIGN.md, "Substitutions").
+
+   All kernels take [n] (problem size) and [a] (a scale factor) and return a
+   checksum, so the interpreter can verify that every pipeline preserves
+   semantics while counting executed copies. 2-D arrays are flattened with
+   stride [n]. *)
+
+let saxpy =
+  {|
+# Scaled vector addition: the classic single-loop reduction.
+func saxpy(n, a) {
+  i = 0;
+  while (i < n) {
+    x[i] = i;
+    y[i] = n - i;
+    i = i + 1;
+  }
+  i = 0;
+  s = 0;
+  while (i < n) {
+    y[i] = a * x[i] + y[i];
+    s = s + y[i];
+    i = i + 1;
+  }
+  return s;
+}
+|}
+
+let tomcatv =
+  {|
+# Mesh-generation flavour: 2-D sweeps with several loop-carried scalars
+# and a residual reduction, like the SPEC95 tomcatv main loop.
+func tomcatv(n, a) {
+  i = 0;
+  while (i < n) {
+    j = 0;
+    while (j < n) {
+      xx[i * n + j] = i + j;
+      yy[i * n + j] = i - j;
+      j = j + 1;
+    }
+    i = i + 1;
+  }
+  rx = 0;
+  ry = 0;
+  it = 0;
+  while (it < 3) {
+    i = 1;
+    while (i < n - 1) {
+      j = 1;
+      while (j < n - 1) {
+        xm = xx[(i - 1) * n + j];
+        xp = xx[(i + 1) * n + j];
+        ym = yy[i * n + j - 1];
+        yp = yy[i * n + j + 1];
+        dxx = xp - 2 * xx[i * n + j] + xm;
+        dyy = yp - 2 * yy[i * n + j] + ym;
+        rxn = dxx * a;
+        ryn = dyy * a;
+        xx[i * n + j] = xx[i * n + j] + rxn;
+        yy[i * n + j] = yy[i * n + j] + ryn;
+        rx = rx + rxn;
+        ry = ry + ryn;
+        j = j + 1;
+      }
+      i = i + 1;
+    }
+    it = it + 1;
+  }
+  return rx + ry;
+}
+|}
+
+let blts =
+  {|
+# Lower-triangular block solve (LU-SSOR forward sweep, as in applu/blts):
+# carried dependences between iterations.
+func blts(n, a) {
+  i = 0;
+  while (i < n) {
+    j = 0;
+    while (j < n) {
+      m[i * n + j] = i + 2 * j + 1;
+      j = j + 1;
+    }
+    b[i] = i + 1;
+    i = i + 1;
+  }
+  i = 0;
+  while (i < n) {
+    s = b[i];
+    j = 0;
+    while (j < i) {
+      s = s - m[i * n + j] * v[j];
+      j = j + 1;
+    }
+    v[i] = s / (m[i * n + i] + a);
+    i = i + 1;
+  }
+  s = 0;
+  i = 0;
+  while (i < n) {
+    s = s + v[i];
+    i = i + 1;
+  }
+  return s;
+}
+|}
+
+let buts =
+  {|
+# Upper-triangular backward sweep (the mirror of blts): the loop runs
+# downward, so the induction update is a subtraction.
+func buts(n, a) {
+  i = 0;
+  while (i < n) {
+    j = 0;
+    while (j < n) {
+      m[i * n + j] = 1 + i + j;
+      j = j + 1;
+    }
+    b[i] = 2 * i + 1;
+    i = i + 1;
+  }
+  i = n - 1;
+  while (i >= 0) {
+    s = b[i];
+    j = i + 1;
+    while (j < n) {
+      s = s - m[i * n + j] * v[j];
+      j = j + 1;
+    }
+    v[i] = s / (m[i * n + i] + a);
+    i = i - 1;
+  }
+  s = 0;
+  i = 0;
+  while (i < n) {
+    s = s + v[i];
+    i = i + 1;
+  }
+  return s;
+}
+|}
+
+let rhs =
+  {|
+# Right-hand-side assembly: several sequential loops feeding each other,
+# with distinct accumulators alive across loop boundaries.
+func rhs(n, a) {
+  i = 0;
+  while (i < n) {
+    u[i] = i + 1;
+    i = i + 1;
+  }
+  i = 1;
+  while (i < n - 1) {
+    flux[i] = a * (u[i + 1] - 2 * u[i] + u[i - 1]);
+    i = i + 1;
+  }
+  flux[0] = 0;
+  flux[n - 1] = 0;
+  s1 = 0;
+  s2 = 0;
+  i = 0;
+  while (i < n) {
+    r[i] = u[i] + flux[i];
+    s1 = s1 + r[i];
+    s2 = s2 + r[i] * r[i];
+    i = i + 1;
+  }
+  return s1 + s2;
+}
+|}
+
+let initx =
+  {|
+# Initialization with mode switches: conditionals choosing between copy
+# chains, the pattern where the inner-loop-first heuristic can lose.
+func initx(n, a) {
+  mode = 0;
+  i = 0;
+  while (i < n) {
+    v = i;
+    if (mode == 0) {
+      w = v;
+      mode = 1;
+    } else {
+      w = v + a;
+      mode = 0;
+    }
+    data[i] = w;
+    prev = w;
+    i = i + 1;
+  }
+  s = 0;
+  i = 0;
+  while (i < n) {
+    t = data[i];
+    cur = t;
+    s = s + cur + prev;
+    prev = cur;
+    i = i + 1;
+  }
+  return s;
+}
+|}
+
+let twldrv =
+  {|
+# A long driver routine: nested loops, an if-ladder, and many scalars
+# alive at once (the biggest routine in the paper's tables).
+func twldrv(n, a) {
+  i = 0;
+  while (i < n) {
+    w1[i] = i;
+    w2[i] = 2 * i;
+    w3[i] = i * i;
+    i = i + 1;
+  }
+  acc1 = 0; acc2 = 0; acc3 = 0; acc4 = 0;
+  it = 0;
+  while (it < 4) {
+    i = 0;
+    while (i < n) {
+      t1 = w1[i];
+      t2 = w2[i];
+      t3 = w3[i];
+      if (t1 > t2) {
+        q = t1 - t2;
+        acc1 = acc1 + q;
+      } else {
+        if (t2 > t3) {
+          q = t2 - t3;
+          acc2 = acc2 + q;
+        } else {
+          q = t3 - t1;
+          acc3 = acc3 + q;
+        }
+      }
+      r = t1 + t2 + t3;
+      acc4 = acc4 + r - q;
+      w1[i] = t2;
+      w2[i] = t3;
+      w3[i] = t1 + a;
+      i = i + 1;
+    }
+    it = it + 1;
+  }
+  return acc1 + acc2 + acc3 + acc4;
+}
+|}
+
+let fpppp =
+  {|
+# Straight-line heavy: long expression chains with many temporaries and
+# almost no control flow, like the electron-integral kernel.
+func fpppp(n, a) {
+  s = 0;
+  i = 0;
+  while (i < n) {
+    g1 = i + 1;
+    g2 = g1 * g1;
+    g3 = g2 + g1;
+    g4 = g3 * a;
+    g5 = g4 - g2;
+    g6 = g5 * g1 + g3;
+    g7 = g6 - g4 * g2;
+    g8 = g7 + g6 * g5;
+    h1 = g8 - g7;
+    h2 = h1 * g6;
+    h3 = h2 + g5 * h1;
+    h4 = h3 - g4;
+    h5 = h4 + h3 * g3;
+    h6 = h5 - h2;
+    t = h6 + h5 - h4 + h3 - h2 + h1;
+    fp[i] = t;
+    s = s + t;
+    i = i + 1;
+  }
+  return s;
+}
+|}
+
+let radfgx =
+  {|
+# Forward radix FFT pass flavour: butterfly swaps between even/odd planes;
+# swaps inside a loop are prime virtual-swap territory.
+func radfgx(n, a) {
+  i = 0;
+  while (i < n) {
+    re[i] = i + 1;
+    im[i] = n - i;
+    i = i + 1;
+  }
+  half = n / 2;
+  i = 0;
+  while (i < half) {
+    er = re[2 * i];
+    or_ = re[2 * i + 1];
+    ei = im[2 * i];
+    oi = im[2 * i + 1];
+    tr = er - or_;
+    ti = ei - oi;
+    re[2 * i] = er + or_;
+    im[2 * i] = ei + oi;
+    re[2 * i + 1] = tr * a - ti;
+    im[2 * i + 1] = ti * a + tr;
+    i = i + 1;
+  }
+  s = 0;
+  i = 0;
+  while (i < n) {
+    s = s + re[i] + im[i];
+    i = i + 1;
+  }
+  return s;
+}
+|}
+
+let radbgx =
+  {|
+# Backward radix pass: like radfgx but the butterflies un-swap, and the
+# twiddle accumulators rotate through three names each iteration.
+func radbgx(n, a) {
+  i = 0;
+  while (i < n) {
+    re[i] = 2 * i;
+    im[i] = i + 3;
+    i = i + 1;
+  }
+  w0 = 1;
+  w1 = a;
+  w2 = a + 1;
+  half = n / 2;
+  i = 0;
+  while (i < half) {
+    x0 = re[i] + re[i + half];
+    x1 = re[i] - re[i + half];
+    re[i] = x0 * w0;
+    re[i + half] = x1 * w1;
+    tmp = w0;
+    w0 = w1;
+    w1 = w2;
+    w2 = tmp;
+    i = i + 1;
+  }
+  s = 0;
+  i = 0;
+  while (i < n) {
+    s = s + re[i] + im[i];
+    i = i + 1;
+  }
+  return s;
+}
+|}
+
+let parmvrx =
+  {|
+# Parameter-move routine: chains of scalar copies between "registers" on
+# either side of conditionals — the copy-densest shape in the paper.
+func parmvrx(n, a) {
+  p0 = a; p1 = a + 1; p2 = a + 2; p3 = a + 3;
+  s = 0;
+  i = 0;
+  while (i < n) {
+    t0 = p0;
+    t1 = p1;
+    t2 = p2;
+    t3 = p3;
+    if (i % 2 == 0) {
+      p0 = t1;
+      p1 = t0;
+      p2 = t3;
+      p3 = t2;
+    } else {
+      p0 = t2;
+      p1 = t3;
+      p2 = t0;
+      p3 = t1;
+    }
+    s = s + p0 - p3;
+    i = i + 1;
+  }
+  return s + p0 + p1 + p2 + p3;
+}
+|}
+
+let parmovx =
+  {|
+# Straight parameter shuffle without conditionals: a rotating 5-cycle of
+# scalars, so every iteration is one big parallel copy.
+func parmovx(n, a) {
+  q0 = a; q1 = 2 * a; q2 = 3 * a; q3 = 5 * a; q4 = 7 * a;
+  s = 0;
+  i = 0;
+  while (i < n) {
+    t = q0;
+    q0 = q1;
+    q1 = q2;
+    q2 = q3;
+    q3 = q4;
+    q4 = t;
+    s = s + q0;
+    i = i + 1;
+  }
+  return s + q0 + q1 + q2 + q3 + q4;
+}
+|}
+
+let parmvex =
+  {|
+# Parameter moves with an early-exit shaped guard and partial updates:
+# only some of the names rotate on each path.
+func parmvex(n, a) {
+  r0 = a; r1 = a + 1; r2 = a + 2;
+  s = 0;
+  i = 0;
+  while (i < n) {
+    if (r0 > r1) {
+      t = r0;
+      r0 = r1;
+      r1 = t;
+      s = s + 1;
+    }
+    if (r1 > r2) {
+      t = r1;
+      r1 = r2;
+      r2 = t;
+      s = s + 2;
+    }
+    r0 = r0 + i;
+    i = i + 1;
+  }
+  return s + r0 + r1 + r2;
+}
+|}
+
+let fieldx =
+  {|
+# Field update: two interleaved stencils with boundary tests inside the
+# loop body.
+func fieldx(n, a) {
+  i = 0;
+  while (i < n) {
+    e[i] = i;
+    h[i] = n - i;
+    i = i + 1;
+  }
+  it = 0;
+  while (it < 3) {
+    i = 0;
+    while (i < n) {
+      if (i == 0) {
+        de = e[i + 1] - e[i];
+      } else {
+        if (i == n - 1) {
+          de = e[i] - e[i - 1];
+        } else {
+          de = e[i + 1] - e[i - 1];
+        }
+      }
+      h[i] = h[i] + a * de;
+      i = i + 1;
+    }
+    i = 0;
+    while (i < n) {
+      if (i == 0) {
+        dh = h[i + 1] - h[i];
+      } else {
+        if (i == n - 1) {
+          dh = h[i] - h[i - 1];
+        } else {
+          dh = h[i + 1] - h[i - 1];
+        }
+      }
+      e[i] = e[i] + a * dh;
+      i = i + 1;
+    }
+    it = it + 1;
+  }
+  s = 0;
+  i = 0;
+  while (i < n) {
+    s = s + e[i] - h[i];
+    i = i + 1;
+  }
+  return s;
+}
+|}
+
+let jacld =
+  {|
+# Jacobian lower-diagonal assembly: many short-lived scalars per iteration
+# feeding array writes, with an inner accumulation.
+func jacld(n, a) {
+  i = 0;
+  while (i < n) {
+    u1 = i + 1;
+    u2 = u1 * u1;
+    u3 = u2 - i;
+    c1 = a * u1;
+    c2 = a * u2;
+    c3 = a * u3;
+    d1 = c1 + c2;
+    d2 = c2 + c3;
+    d3 = c3 + c1;
+    ja[i] = d1;
+    jb[i] = d2;
+    jc[i] = d3;
+    i = i + 1;
+  }
+  s = 0;
+  i = 1;
+  while (i < n) {
+    s = s + ja[i] * jb[i - 1] - jc[i];
+    i = i + 1;
+  }
+  return s;
+}
+|}
+
+let smoothx =
+  {|
+# Smoothing with red/black alternation: the color flag flips each sweep,
+# keeping a φ alive around the outer loop.
+func smoothx(n, a) {
+  i = 0;
+  while (i < n) {
+    g[i] = i * i - n;
+    i = i + 1;
+  }
+  color = 0;
+  it = 0;
+  while (it < 4) {
+    i = 1;
+    while (i < n - 1) {
+      if (i % 2 == color) {
+        g[i] = (g[i - 1] + g[i + 1] + a * g[i]) / (a + 2);
+      }
+      i = i + 1;
+    }
+    if (color == 0) {
+      color = 1;
+    } else {
+      color = 0;
+    }
+    it = it + 1;
+  }
+  s = 0;
+  i = 0;
+  while (i < n) {
+    s = s + g[i];
+    i = i + 1;
+  }
+  return s;
+}
+|}
+
+let getbx =
+  {|
+# Gather with predicates: conditional harvesting into a compacted array,
+# with two cursors alive in the loop.
+func getbx(n, a) {
+  i = 0;
+  while (i < n) {
+    src[i] = (i * 7) % n;
+    i = i + 1;
+  }
+  k = 0;
+  i = 0;
+  while (i < n) {
+    v = src[i];
+    if (v > a) {
+      dst[k] = v;
+      k = k + 1;
+    }
+    i = i + 1;
+  }
+  s = 0;
+  i = 0;
+  while (i < k) {
+    s = s + dst[i];
+    i = i + 1;
+  }
+  return s + k;
+}
+|}
+
+let advbndx =
+  {|
+# Boundary advance: interior sweep plus separate boundary fix-ups, three
+# regions with different expressions for the same target names.
+func advbndx(n, a) {
+  i = 0;
+  while (i < n) {
+    f[i] = i + 2;
+    i = i + 1;
+  }
+  it = 0;
+  while (it < 3) {
+    left = f[0];
+    right = f[n - 1];
+    i = 1;
+    while (i < n - 1) {
+      nf = f[i] + a * (f[i + 1] - f[i - 1]);
+      f[i] = nf;
+      i = i + 1;
+    }
+    f[0] = left + a * (f[1] - left);
+    f[n - 1] = right - a * (right - f[n - 2]);
+    it = it + 1;
+  }
+  s = 0;
+  i = 0;
+  while (i < n) {
+    s = s + f[i];
+    i = i + 1;
+  }
+  return s;
+}
+|}
+
+let deseco =
+  {|
+# Decision-heavy economics-style routine: an if-ladder re-deciding a
+# handful of state scalars every iteration.
+func deseco(n, a) {
+  supply = a;
+  demand = 2 * a;
+  price = 10;
+  stock = 0;
+  s = 0;
+  i = 0;
+  while (i < n) {
+    gap = demand - supply;
+    if (gap > price) {
+      price = price + gap / 4;
+      supply = supply + 2;
+      stock = stock - 1;
+    } else {
+      if (gap > 0) {
+        price = price + 1;
+        supply = supply + 1;
+      } else {
+        if (gap < 0 - price) {
+          price = price - gap / 8;
+          demand = demand + 2;
+          stock = stock + 1;
+        } else {
+          old = price;
+          price = (price * 3) / 4;
+          demand = demand + old - price;
+        }
+      }
+    }
+    s = s + price + stock;
+    i = i + 1;
+  }
+  return s + supply - demand;
+}
+|}
+
+
+(* ------------------------------------------------------------------ *)
+(* Forsythe, Malcolm & Moler flavours: the paper's other source of
+   routines ("Computer Methods for Mathematical Computations").         *)
+(* ------------------------------------------------------------------ *)
+
+let zeroin =
+  {|
+# Root finding by bisection with a secant-style midpoint choice: the
+# classic zeroin control flow (nested conditionals updating bracketing
+# variables in lockstep).
+func zeroin(n, a) {
+  # f(x) = x*x - a on integers scaled by 1000; bracket [0, a+1]
+  lo = 0;
+  hi = (a + 1) * 1000;
+  flo = 0 - a;
+  it = 0;
+  while (it < n) {
+    mid = (lo + hi) / 2;
+    x = mid / 1000;
+    fmid = x * x - a;
+    if (fmid == 0) {
+      lo = mid;
+      hi = mid;
+    } else {
+      if ((fmid < 0) == (flo < 0)) {
+        lo = mid;
+        flo = fmid;
+      } else {
+        hi = mid;
+      }
+    }
+    it = it + 1;
+  }
+  return lo / 1000;
+}
+|}
+
+let fmin =
+  {|
+# Golden-section-style minimization: three abscissae rotate through
+# comparisons, a textbook virtual-swap generator.
+func fmin(n, a) {
+  left = 0;
+  right = 100 * a;
+  m1 = left + (right - left) * 382 / 1000;
+  m2 = left + (right - left) * 618 / 1000;
+  it = 0;
+  while (it < n) {
+    f1 = (m1 - 37) * (m1 - 37);
+    f2 = (m2 - 37) * (m2 - 37);
+    if (f1 < f2) {
+      right = m2;
+      m2 = m1;
+      m1 = left + (right - left) * 382 / 1000;
+    } else {
+      left = m1;
+      m1 = m2;
+      m2 = left + (right - left) * 618 / 1000;
+    }
+    it = it + 1;
+  }
+  return (left + right) / 2;
+}
+|}
+
+let spline =
+  {|
+# Cubic-spline coefficient setup: a forward elimination sweep followed by
+# back substitution, with several coefficient arrays built in lockstep.
+func spline(n, a) {
+  i = 0;
+  while (i < n) {
+    xx[i] = i * 2;
+    yy[i] = (i * i) % 17;
+    i = i + 1;
+  }
+  d[0] = 1;
+  c[0] = 0;
+  i = 1;
+  while (i < n - 1) {
+    h1 = xx[i] - xx[i - 1];
+    h2 = xx[i + 1] - xx[i];
+    mu = h1 * 1000 / (h1 + h2);
+    rhs = (yy[i + 1] - yy[i]) / h2 - (yy[i] - yy[i - 1]) / h1;
+    p = mu * c[i - 1] / 1000 + 2000;
+    c[i] = (0 - (1000 - mu)) * 1000 / p;
+    d[i] = (6 * rhs * 1000 / (h1 + h2) - mu * d[i - 1]) * 1000 / p / 1000;
+    i = i + 1;
+  }
+  m[n - 1] = 0;
+  i = n - 2;
+  while (i >= 0) {
+    m[i] = c[i] * m[i + 1] / 1000 + d[i];
+    i = i - 1;
+  }
+  s = 0;
+  i = 0;
+  while (i < n) {
+    s = s + m[i];
+    i = i + 1;
+  }
+  return s + a;
+}
+|}
+
+let seval =
+  {|
+# Spline evaluation: binary search for the interval, then a Horner-style
+# polynomial evaluation (straight-line tail after a search loop).
+func seval(n, a) {
+  i = 0;
+  while (i < n) {
+    knots[i] = i * 3;
+    coefa[i] = i + 1;
+    coefb[i] = 2 * i - 1;
+    coefc[i] = i % 5;
+    i = i + 1;
+  }
+  total = 0;
+  q = 0;
+  while (q < n) {
+    u = (q * 7 + a) % (3 * n);
+    lo = 0;
+    hi = n - 1;
+    while (lo + 1 < hi) {
+      mid = (lo + hi) / 2;
+      if (knots[mid] <= u) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    dx = u - knots[lo];
+    v = coefa[lo] + dx * (coefb[lo] + dx * coefc[lo]);
+    total = total + v;
+    q = q + 1;
+  }
+  return total;
+}
+|}
+
+let decomp =
+  {|
+# LU decomposition with partial pivoting: the row-swap inside the pivot
+# search is another natural parallel-copy source.
+func decomp(n, a) {
+  i = 0;
+  while (i < n) {
+    j = 0;
+    while (j < n) {
+      lu[i * n + j] = ((i * 7 + j * 3 + a) % 19) + 1;
+      j = j + 1;
+    }
+    i = i + 1;
+  }
+  sign = 1;
+  k = 0;
+  while (k < n - 1) {
+    # pivot search
+    p = k;
+    best = lu[k * n + k];
+    if (best < 0) { best = 0 - best; }
+    i = k + 1;
+    while (i < n) {
+      v = lu[i * n + k];
+      if (v < 0) { v = 0 - v; }
+      if (v > best) {
+        best = v;
+        p = i;
+      }
+      i = i + 1;
+    }
+    if (p != k) {
+      sign = 0 - sign;
+      j = 0;
+      while (j < n) {
+        t = lu[k * n + j];
+        lu[k * n + j] = lu[p * n + j];
+        lu[p * n + j] = t;
+        j = j + 1;
+      }
+    }
+    # elimination (scaled integers)
+    i = k + 1;
+    while (i < n) {
+      piv = lu[k * n + k];
+      if (piv == 0) { piv = 1; }
+      f = lu[i * n + k] * 1000 / piv;
+      j = k;
+      while (j < n) {
+        lu[i * n + j] = lu[i * n + j] - f * lu[k * n + j] / 1000;
+        j = j + 1;
+      }
+      i = i + 1;
+    }
+    k = k + 1;
+  }
+  s = 0;
+  i = 0;
+  while (i < n) {
+    s = s + lu[i * n + i];
+    i = i + 1;
+  }
+  return s * sign;
+}
+|}
+
+let solve =
+  {|
+# Triangular solves against the decomp output shape: forward then backward
+# substitution in one routine.
+func solve(n, a) {
+  i = 0;
+  while (i < n) {
+    j = 0;
+    while (j < n) {
+      lu[i * n + j] = (i * 5 + j * 11 + a) % 13 + 1;
+      j = j + 1;
+    }
+    rhs[i] = i + 1;
+    i = i + 1;
+  }
+  i = 0;
+  while (i < n) {
+    acc = rhs[i];
+    j = 0;
+    while (j < i) {
+      acc = acc - lu[i * n + j] * sol[j] / 1000;
+      j = j + 1;
+    }
+    sol[i] = acc;
+    i = i + 1;
+  }
+  i = n - 1;
+  while (i >= 0) {
+    acc = sol[i];
+    j = i + 1;
+    while (j < n) {
+      acc = acc - lu[i * n + j] * sol[j] / 1000;
+      j = j + 1;
+    }
+    sol[i] = acc * 1000 / lu[i * n + i];
+    i = i - 1;
+  }
+  s = 0;
+  i = 0;
+  while (i < n) {
+    s = s + sol[i];
+    i = i + 1;
+  }
+  return s;
+}
+|}
+
+let quanc8 =
+  {|
+# Adaptive quadrature flavour: an 8-panel Newton-Cotes rule evaluated per
+# chunk with a long weighted sum (many simultaneously-live temporaries).
+func quanc8(n, a) {
+  i = 0;
+  while (i < n * 8 + 1) {
+    fx[i] = (i * i + a) % 101;
+    i = i + 1;
+  }
+  total = 0;
+  c = 0;
+  while (c < n) {
+    base = c * 8;
+    w0 = 3956 * fx[base];
+    w1 = 23552 * fx[base + 1];
+    w2 = 0 - 3712 * fx[base + 2];
+    w3 = 41984 * fx[base + 3];
+    w4 = 0 - 18160 * fx[base + 4];
+    w5 = 41984 * fx[base + 5];
+    w6 = 0 - 3712 * fx[base + 6];
+    w7 = 23552 * fx[base + 7];
+    w8 = 3956 * fx[base + 8];
+    panel = w0 + w1 + w2 + w3 + w4 + w5 + w6 + w7 + w8;
+    total = total + panel / 14175;
+    c = c + 1;
+  }
+  return total;
+}
+|}
+
+let urand =
+  {|
+# Linear congruential generator with a shuffle table: state threading
+# through a loop plus indexed permutation.
+func urand(n, a) {
+  seed = a * 2 + 1;
+  i = 0;
+  while (i < 32) {
+    table[i] = (seed * 1103515 + 12345) % 65536;
+    seed = table[i];
+    i = i + 1;
+  }
+  s = 0;
+  i = 0;
+  while (i < n) {
+    seed = (seed * 1103515 + 12345) % 65536;
+    if (seed < 0) { seed = 0 - seed; }
+    j = seed % 32;
+    v = table[j];
+    table[j] = seed;
+    s = (s + v) % 1000000;
+    i = i + 1;
+  }
+  return s;
+}
+|}
+
+let rkf45 =
+  {|
+# Runge-Kutta-Fehlberg flavour: six stage evaluations per step, each a
+# linear combination of the previous stages (dense scalar dependency web).
+func rkf45(n, a) {
+  y = 1000;
+  t = 0;
+  h = 10;
+  s = 0;
+  step = 0;
+  while (step < n) {
+    k1 = h * (0 - y) / 1000;
+    k2 = h * (0 - (y + k1 / 4)) / 1000;
+    k3 = h * (0 - (y + 3 * k1 / 32 + 9 * k2 / 32)) / 1000;
+    k4 = h * (0 - (y + 1932 * k1 / 2197 - 7200 * k2 / 2197 + 7296 * k3 / 2197)) / 1000;
+    k5 = h * (0 - (y + 439 * k1 / 216 - 8 * k2 + 3680 * k3 / 513 - 845 * k4 / 4104)) / 1000;
+    k6 = h * (0 - (y - 8 * k1 / 27 + 2 * k2 - 3544 * k3 / 2565 + 1859 * k4 / 4104 - 11 * k5 / 40)) / 1000;
+    ynew = y + 25 * k1 / 216 + 1408 * k3 / 2565 + 2197 * k4 / 4104 - k5 / 5;
+    err = k1 / 360 - 128 * k3 / 4275 - 2197 * k4 / 75240 + k5 / 50 + 2 * k6 / 55;
+    if (err < 0) { err = 0 - err; }
+    if (err > a * 10) {
+      h = h / 2;
+      if (h == 0) { h = 1; }
+    } else {
+      y = ynew;
+      t = t + h;
+      if (err * 4 < a * 10) {
+        h = h * 2;
+      }
+    }
+    s = s + y;
+    step = step + 1;
+  }
+  return s + t;
+}
+|}
+
+let svdrot =
+  {|
+# Jacobi-rotation sweep (the heart of an SVD): pairs of rows combined with
+# a rotation, both updated in parallel from each other's old values.
+func svdrot(n, a) {
+  i = 0;
+  while (i < n) {
+    u[i] = (i * 3 + a) % 23;
+    v[i] = (i * 5 + 1) % 19;
+    i = i + 1;
+  }
+  sweep = 0;
+  while (sweep < 3) {
+    i = 0;
+    while (i < n) {
+      # integer "rotation" with c=4/5, s=3/5 scaled by 5
+      ui = u[i];
+      vi = v[i];
+      u[i] = (4 * ui + 3 * vi) / 5;
+      v[i] = (4 * vi - 3 * ui) / 5;
+      i = i + 1;
+    }
+    sweep = sweep + 1;
+  }
+  s = 0;
+  i = 0;
+  while (i < n) {
+    s = s + u[i] - v[i];
+    i = i + 1;
+  }
+  return s;
+}
+|}
+
+
+(* ------------------------------------------------------------------ *)
+(* SPEC-benchmark flavours: routines named for the applu/appbt/apsi
+   families and classic library kernels, completing the suite's mix of
+   control-flow shapes.                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let ssor =
+  {|
+# Successive over-relaxation sweep with a relaxation factor and separate
+# odd/even update phases.
+func ssor(n, a) {
+  i = 0;
+  while (i < n) {
+    u[i] = (i * 13) % 31;
+    i = i + 1;
+  }
+  it = 0;
+  while (it < 4) {
+    i = 1;
+    while (i < n - 1) {
+      gs = (u[i - 1] + u[i + 1]) / 2;
+      u[i] = u[i] + a * (gs - u[i]) / 10;
+      i = i + 2;
+    }
+    i = 2;
+    while (i < n - 1) {
+      gs = (u[i - 1] + u[i + 1]) / 2;
+      u[i] = u[i] + a * (gs - u[i]) / 10;
+      i = i + 2;
+    }
+    it = it + 1;
+  }
+  s = 0;
+  i = 0;
+  while (i < n) {
+    s = s + u[i];
+    i = i + 1;
+  }
+  return s;
+}
+|}
+
+let l2norm =
+  {|
+# Norm computation: squared accumulation with a final scaling, plus a
+# running maximum kept in parallel (two reduction variables).
+func l2norm(n, a) {
+  i = 0;
+  while (i < n) {
+    v[i] = (i * 7 - n) % 29;
+    i = i + 1;
+  }
+  sumsq = 0;
+  vmax = 0;
+  i = 0;
+  while (i < n) {
+    x = v[i];
+    if (x < 0) {
+      x = 0 - x;
+    }
+    sumsq = sumsq + x * x;
+    if (x > vmax) {
+      vmax = x;
+    }
+    i = i + 1;
+  }
+  return sumsq / (vmax + a);
+}
+|}
+
+let exact =
+  {|
+# Exact-solution evaluation (appbt's "exact"): a polynomial in three
+# indices with shared subterms, evaluated over a small grid.
+func exact(n, a) {
+  s = 0;
+  i = 0;
+  while (i < n) {
+    j = 0;
+    while (j < n) {
+      xi = i * 10 / n;
+      eta = j * 10 / n;
+      t1 = xi * xi;
+      t2 = eta * eta;
+      t3 = xi * eta;
+      p0 = 1 + xi + t1 + t1 * xi;
+      p1 = 2 + eta * 2 + t2 + t2 * eta;
+      p2 = 3 + t3 + t3 * xi + t3 * eta;
+      s = s + p0 + a * p1 - p2;
+      j = j + 1;
+    }
+    i = i + 1;
+  }
+  return s;
+}
+|}
+
+let pintgr =
+  {|
+# Surface integral over panels (applu's pintgr): three separate
+# accumulations over different boundary strips, summed at the end.
+func pintgr(n, a) {
+  i = 0;
+  while (i < n) {
+    phi1[i] = (i * 3 + a) % 11;
+    phi2[i] = (i * 5 + 1) % 13;
+    i = i + 1;
+  }
+  frc1 = 0;
+  i = 0;
+  while (i < n - 1) {
+    frc1 = frc1 + phi1[i] + phi1[i + 1];
+    i = i + 1;
+  }
+  frc2 = 0;
+  i = 0;
+  while (i < n - 1) {
+    frc2 = frc2 + phi2[i] + phi2[i + 1];
+    i = i + 1;
+  }
+  frc3 = 0;
+  i = 0;
+  while (i < n - 1) {
+    frc3 = frc3 + (phi1[i] - phi2[i]) * (phi1[i + 1] - phi2[i + 1]);
+    i = i + 1;
+  }
+  return frc1 + 2 * frc2 - frc3;
+}
+|}
+
+let setbv =
+  {|
+# Boundary-value initialization: writes along four edges of a grid with
+# distinct formulas (straight-line blocks selected by position tests).
+func setbv(n, a) {
+  i = 0;
+  while (i < n) {
+    j = 0;
+    while (j < n) {
+      v = 0;
+      if (i == 0) {
+        v = j + a;
+      } else {
+        if (i == n - 1) {
+          v = j * 2 - a;
+        } else {
+          if (j == 0) {
+            v = i * 3;
+          } else {
+            if (j == n - 1) {
+              v = i + j;
+            }
+          }
+        }
+      }
+      g[i * n + j] = v;
+      j = j + 1;
+    }
+    i = i + 1;
+  }
+  s = 0;
+  i = 0;
+  while (i < n * n) {
+    s = s + g[i];
+    i = i + 1;
+  }
+  return s;
+}
+|}
+
+let dotprod =
+  {|
+# Unrolled dot product: four parallel accumulators reassociated at the
+# end (classic throughput idiom, lots of simultaneously-live scalars).
+func dotprod(n, a) {
+  i = 0;
+  while (i < 4 * n) {
+    x[i] = (i + a) % 9;
+    y[i] = (i * 2 + 1) % 7;
+    i = i + 1;
+  }
+  s0 = 0; s1 = 0; s2 = 0; s3 = 0;
+  i = 0;
+  while (i < n) {
+    b = 4 * i;
+    s0 = s0 + x[b] * y[b];
+    s1 = s1 + x[b + 1] * y[b + 1];
+    s2 = s2 + x[b + 2] * y[b + 2];
+    s3 = s3 + x[b + 3] * y[b + 3];
+    i = i + 1;
+  }
+  return s0 + s1 + s2 + s3;
+}
+|}
+
+let matmul =
+  {|
+# Blocked-free triple loop matrix multiply with an accumulator that lives
+# across the innermost loop.
+func matmul(n, a) {
+  i = 0;
+  while (i < n * n) {
+    ma[i] = (i + a) % 5;
+    mb[i] = (i * 3 + 1) % 7;
+    i = i + 1;
+  }
+  i = 0;
+  while (i < n) {
+    j = 0;
+    while (j < n) {
+      acc = 0;
+      k = 0;
+      while (k < n) {
+        acc = acc + ma[i * n + k] * mb[k * n + j];
+        k = k + 1;
+      }
+      mc[i * n + j] = acc;
+      j = j + 1;
+    }
+    i = i + 1;
+  }
+  s = 0;
+  i = 0;
+  while (i < n) {
+    s = s + mc[i * n + i];
+    i = i + 1;
+  }
+  return s;
+}
+|}
+
+let trid =
+  {|
+# Thomas algorithm for a tridiagonal system: coupled forward/backward
+# recurrences over four coefficient arrays.
+func trid(n, a) {
+  i = 0;
+  while (i < n) {
+    dl[i] = 1;
+    dd[i] = 4 + (i % 3);
+    du[i] = 1;
+    b[i] = i + a;
+    i = i + 1;
+  }
+  cp[0] = du[0] * 1000 / dd[0];
+  bp[0] = b[0] * 1000 / dd[0];
+  i = 1;
+  while (i < n) {
+    den = dd[i] - dl[i] * cp[i - 1] / 1000;
+    if (den == 0) { den = 1; }
+    cp[i] = du[i] * 1000 / den;
+    bp[i] = (b[i] - dl[i] * bp[i - 1] / 1000) * 1000 / den;
+    i = i + 1;
+  }
+  xs[n - 1] = bp[n - 1];
+  i = n - 2;
+  while (i >= 0) {
+    xs[i] = bp[i] - cp[i] * xs[i + 1] / 1000;
+    i = i - 1;
+  }
+  s = 0;
+  i = 0;
+  while (i < n) {
+    s = s + xs[i];
+    i = i + 1;
+  }
+  return s;
+}
+|}
+
+let gauss =
+  {|
+# Gauss-Seidel iteration with convergence test: a data-dependent early
+# exit flag threaded through the outer loop.
+func gauss(n, a) {
+  i = 0;
+  while (i < n) {
+    x[i] = 0;
+    b[i] = (i * 7) % 23 + 1;
+    i = i + 1;
+  }
+  it = 0;
+  done_ = 0;
+  while (it < 20 && done_ == 0) {
+    delta = 0;
+    i = 1;
+    while (i < n - 1) {
+      old = x[i];
+      nv = (b[i] + x[i - 1] + x[i + 1]) / 3;
+      x[i] = nv;
+      d = nv - old;
+      if (d < 0) { d = 0 - d; }
+      if (d > delta) { delta = d; }
+      i = i + 1;
+    }
+    if (delta <= a) {
+      done_ = 1;
+    }
+    it = it + 1;
+  }
+  s = 0;
+  i = 0;
+  while (i < n) {
+    s = s + x[i];
+    i = i + 1;
+  }
+  return s + it * 1000;
+}
+|}
+
+let fft2 =
+  {|
+# Two-level FFT skeleton: bit-reversal permutation (index swaps) followed
+# by one butterfly stage — both classic parallel-copy generators.
+func fft2(n, a) {
+  i = 0;
+  while (i < n) {
+    d[i] = (i * 11 + a) % 37;
+    i = i + 1;
+  }
+  # bit-reversal for 16 elements, done arithmetically
+  i = 0;
+  while (i < 16) {
+    r = 0;
+    v = i;
+    k = 0;
+    while (k < 4) {
+      r = r * 2 + v % 2;
+      v = v / 2;
+      k = k + 1;
+    }
+    if (r > i) {
+      t = d[i];
+      d[i] = d[r];
+      d[r] = t;
+    }
+    i = i + 1;
+  }
+  i = 0;
+  while (i + 1 < 16) {
+    ev = d[i];
+    od = d[i + 1];
+    d[i] = ev + od;
+    d[i + 1] = ev - od;
+    i = i + 2;
+  }
+  s = 0;
+  i = 0;
+  while (i < 16) {
+    s = s + d[i] * (i + 1);
+    i = i + 1;
+  }
+  return s;
+}
+|}
+
+let histo =
+  {|
+# Histogram with a post-pass prefix sum: indirect increments then a
+# carried scan variable.
+func histo(n, a) {
+  i = 0;
+  while (i < n) {
+    k = (i * i + a) % 16;
+    hist[k] = hist[k] + 1;
+    i = i + 1;
+  }
+  run = 0;
+  i = 0;
+  while (i < 16) {
+    run = run + hist[i];
+    cum[i] = run;
+    i = i + 1;
+  }
+  return cum[15] * 100 + cum[7];
+}
+|}
+
+let bubble =
+  {|
+# Sorting network fragment: adjacent compare-and-swap passes; every swap
+# is a conditional parallel copy.
+func bubble(n, a) {
+  i = 0;
+  while (i < n) {
+    arr[i] = (i * 17 + a) % n;
+    i = i + 1;
+  }
+  pass = 0;
+  while (pass < n) {
+    i = 0;
+    while (i < n - 1) {
+      x = arr[i];
+      y = arr[i + 1];
+      if (x > y) {
+        arr[i] = y;
+        arr[i + 1] = x;
+      }
+      i = i + 1;
+    }
+    pass = pass + 1;
+  }
+  s = 0;
+  i = 0;
+  while (i < n) {
+    s = s + arr[i] * i;
+    i = i + 1;
+  }
+  return s;
+}
+|}
+
+let horner =
+  {|
+# Polynomial evaluation at many points: the tightest possible carried
+# dependence (one accumulator rewritten every instruction).
+func horner(n, a) {
+  c0 = a; c1 = a + 1; c2 = 2 * a - 1; c3 = a % 5; c4 = 3;
+  s = 0;
+  x = 0;
+  while (x < n) {
+    acc = c4;
+    acc = acc * x + c3;
+    acc = acc * x + c2;
+    acc = acc * x + c1;
+    acc = acc * x + c0;
+    s = (s + acc) % 1000003;
+    x = x + 1;
+  }
+  return s;
+}
+|}
+
+let scan =
+  {|
+# Parallel-style prefix scan done sequentially with double buffering:
+# source and destination arrays swap roles each round (array-level
+# virtual swap driven by a flag).
+func scan(n, a) {
+  i = 0;
+  while (i < n) {
+    buf0[i] = (i + a) % 10;
+    i = i + 1;
+  }
+  stride = 1;
+  flag = 0;
+  while (stride < n) {
+    i = 0;
+    while (i < n) {
+      if (flag == 0) {
+        v = buf0[i];
+        if (i >= stride) {
+          v = v + buf0[i - stride];
+        }
+        buf1[i] = v;
+      } else {
+        v = buf1[i];
+        if (i >= stride) {
+          v = v + buf1[i - stride];
+        }
+        buf0[i] = v;
+      }
+      i = i + 1;
+    }
+    if (flag == 0) { flag = 1; } else { flag = 0; }
+    stride = stride * 2;
+  }
+  s = 0;
+  i = 0;
+  while (i < n) {
+    if (flag == 0) {
+      s = s + buf0[i];
+    } else {
+      s = s + buf1[i];
+    }
+    i = i + 1;
+  }
+  return s;
+}
+|}
+
+(* (name, source, default n) — n chosen so interpreter runs stay fast while
+   executing enough dynamic copies to be meaningful. *)
+let all : (string * string * int) list =
+  [
+    ("tomcatv", tomcatv, 24);
+    ("blts", blts, 28);
+    ("buts", buts, 28);
+    ("getbx", getbx, 200);
+    ("twldrv", twldrv, 120);
+    ("smoothx", smoothx, 160);
+    ("rhs", rhs, 200);
+    ("parmvrx", parmvrx, 200);
+    ("saxpy", saxpy, 200);
+    ("initx", initx, 200);
+    ("fieldx", fieldx, 120);
+    ("parmovx", parmovx, 220);
+    ("parmvex", parmvex, 220);
+    ("radfgx", radfgx, 200);
+    ("radbgx", radbgx, 200);
+    ("fpppp", fpppp, 150);
+    ("jacld", jacld, 200);
+    ("advbndx", advbndx, 150);
+    ("deseco", deseco, 220);
+    ("zeroin", zeroin, 40);
+    ("fmin", fmin, 60);
+    ("spline", spline, 60);
+    ("seval", seval, 48);
+    ("decomp", decomp, 16);
+    ("solve", solve, 24);
+    ("quanc8", quanc8, 100);
+    ("urand", urand, 300);
+    ("rkf45", rkf45, 120);
+    ("svdrot", svdrot, 200);
+    ("ssor", ssor, 160);
+    ("l2norm", l2norm, 250);
+    ("exact", exact, 20);
+    ("pintgr", pintgr, 200);
+    ("setbv", setbv, 22);
+    ("dotprod", dotprod, 120);
+    ("matmul", matmul, 14);
+    ("trid", trid, 120);
+    ("gauss", gauss, 80);
+    ("fft2", fft2, 100);
+    ("histo", histo, 300);
+    ("bubble", bubble, 40);
+    ("horner", horner, 250);
+    ("scan", scan, 64);
+  ]
+
+let find name =
+  let rec loop = function
+    | [] -> None
+    | (n, src, sz) :: rest -> if n = name then Some (src, sz) else loop rest
+  in
+  loop all

@@ -1,0 +1,66 @@
+type entry = {
+  name : string;
+  func : Ir.func;
+  args : Ir.value list;
+}
+
+let compile_kernel (name, source, n) =
+  match Frontend.Lower.compile source with
+  | [ f ] ->
+    Ir.Validate.check_exn f;
+    { name; func = f; args = [ Ir.Int n; Ir.Int 3 ] }
+  | _ -> failwith ("kernel " ^ name ^ ": expected exactly one function")
+  | exception Frontend.Parser.Error (msg, line) ->
+    failwith (Printf.sprintf "kernel %s: line %d: %s" name line msg)
+
+let memo = ref None
+
+let kernels () =
+  match !memo with
+  | Some k -> k
+  | None ->
+    let k = List.map compile_kernel Kernels.all in
+    memo := Some k;
+    k
+
+let generated ?(sizes = [ 20; 40; 80 ]) ?(seeds = [ 1; 2; 3 ]) () =
+  List.concat_map
+    (fun size ->
+      List.map
+        (fun seed ->
+          let f =
+            Generator.generate_ir { Generator.default with seed; size }
+          in
+          Ir.Validate.check_exn f;
+          { name = f.Ir.name; func = f; args = [ Ir.Int 13; Ir.Int 3 ] })
+        seeds)
+    sizes
+
+let large_memo = ref None
+
+let large () =
+  match !large_memo with
+  | Some l -> l
+  | None ->
+    let l =
+      List.map
+        (fun (seed, size) ->
+          let f =
+            Generator.generate_ir
+              { Generator.seed; size; num_vars = 16; max_depth = 4 }
+          in
+          Ir.Validate.check_exn f;
+          {
+            name = Printf.sprintf "big%d" size;
+            func = f;
+            args = [ Ir.Int 9; Ir.Int 2 ];
+          })
+        [ (101, 300); (102, 600); (103, 1200) ]
+    in
+    large_memo := Some l;
+    l
+
+let find_exn name =
+  match List.find_opt (fun e -> e.name = name) (kernels ()) with
+  | Some e -> e
+  | None -> failwith ("no kernel named " ^ name)

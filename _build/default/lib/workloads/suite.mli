@@ -1,0 +1,20 @@
+(** The compiled workload suite used by tests and the benchmark harness. *)
+
+type entry = {
+  name : string;
+  func : Ir.func;  (** strict, validated, non-SSA *)
+  args : Ir.value list;  (** default interpreter arguments *)
+}
+
+val kernels : unit -> entry list
+(** All named kernels, compiled and validated. Memoized. *)
+
+val generated : ?sizes:int list -> ?seeds:int list -> unit -> entry list
+(** Random structured programs for scaling/property work. *)
+
+val large : unit -> entry list
+(** Big generated routines (hundreds of blocks and φ-nodes) standing in for
+    the paper's largest Fortran routines — this is where the quadratic
+    interference-graph cost separates from the linear coalescer. Memoized. *)
+
+val find_exn : string -> entry

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Interp Ir List Option Printf String Workloads

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Analysis Array Frontend Fun Helpers Ir List QCheck QCheck_alcotest Ssa Support

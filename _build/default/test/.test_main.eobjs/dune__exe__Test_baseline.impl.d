@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Analysis Baseline Helpers Interp Ir Lazy List QCheck QCheck_alcotest Ssa Workloads

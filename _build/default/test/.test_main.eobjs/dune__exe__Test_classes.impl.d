@@ -1,0 +1,1 @@
+test/test_classes.ml: Alcotest Analysis Core Format Helpers Ir List Ssa

@@ -1,0 +1,1 @@
+test/test_coalesce.ml: Alcotest Analysis Core Frontend Helpers Interp Ir Lazy List Printf QCheck QCheck_alcotest Ssa Workloads

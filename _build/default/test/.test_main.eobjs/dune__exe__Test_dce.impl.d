@@ -1,0 +1,1 @@
+test/test_dce.ml: Alcotest Array Core Frontend Helpers Interp Ir List Printf QCheck QCheck_alcotest Ssa Workloads

@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Analysis Array Baseline Core Frontend Fun Helpers Interp Ir List Regalloc Ssa

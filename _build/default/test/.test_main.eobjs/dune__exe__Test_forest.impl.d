@@ -1,0 +1,1 @@
+test/test_forest.ml: Alcotest Analysis Core Fun Helpers Ir List QCheck QCheck_alcotest Ssa

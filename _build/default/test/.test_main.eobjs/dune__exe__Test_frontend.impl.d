@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Format Frontend Helpers Interp Ir List QCheck QCheck_alcotest

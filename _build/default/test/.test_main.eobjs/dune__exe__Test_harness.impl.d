@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Array Buffer Format Harness Helpers Interp Ir List Sys Workloads

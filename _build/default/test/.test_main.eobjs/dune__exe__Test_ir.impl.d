@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Core Format Helpers Ir List QCheck QCheck_alcotest Ssa

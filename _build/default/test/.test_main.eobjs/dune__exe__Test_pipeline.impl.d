@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Array Baseline Core Driver Format Helpers Interp Ir List QCheck QCheck_alcotest Ssa Workloads

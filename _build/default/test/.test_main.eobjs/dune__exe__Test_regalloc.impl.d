@@ -1,0 +1,1 @@
+test/test_regalloc.ml: Alcotest Analysis Core Helpers Interp Ir Lazy List Printf QCheck QCheck_alcotest Regalloc Ssa Support Workloads

@@ -1,0 +1,1 @@
+test/test_simplify.ml: Alcotest Array Core Helpers Interp Ir List Printf QCheck QCheck_alcotest Ssa Workloads

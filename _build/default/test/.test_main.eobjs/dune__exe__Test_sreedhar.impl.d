@@ -1,0 +1,1 @@
+test/test_sreedhar.ml: Alcotest Baseline Core Helpers Interp Ir Lazy List Printf QCheck QCheck_alcotest Ssa Workloads

@@ -1,0 +1,1 @@
+test/test_ssa.ml: Alcotest Array Frontend Helpers Interp Ir Lazy List Printf QCheck QCheck_alcotest Ssa String Workloads

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Helpers Interp Ir List Ssa Workloads

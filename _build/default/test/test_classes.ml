@@ -1,0 +1,271 @@
+(* Fine-grained tests of WHICH names coalesce: hand-written SSA programs
+   (via the IR text parser) with exact expectations for the congruence
+   classes and the Section-3.1 filters. *)
+
+open Helpers
+
+let classes_of src =
+  let f = Ir.Parse.func_of_string src in
+  (match Ssa.Ssa_validate.run f with
+  | [] -> ()
+  | errs ->
+    Alcotest.failf "test input is not valid SSA: %s"
+      (Format.asprintf "%a" Ir.Validate.pp_error (List.hd errs)));
+  let f = Ir.Edge_split.run f in
+  let classes = Core.Coalesce.congruence_classes f in
+  List.map (fun c -> List.sort compare (List.map (Ir.reg_name f) c)) classes
+  |> List.sort compare
+
+let name_sets = Alcotest.(list (list string))
+
+(* A loop counter: everything joins one class. *)
+let test_loop_counter_class () =
+  let cs =
+    classes_of
+      {|
+func f(n) {  # entry b0
+b0:
+  jump b1
+b1:
+  i1 := phi [b0: 0] [b2: i2]
+  c := lt i1, n
+  br c, b2, b3
+b2:
+  i2 := add i1, 1
+  jump b1
+b3:
+  ret i1
+}
+|}
+  in
+  check name_sets "one class {i1,i2}" [ [ "i1"; "i2" ] ] cs
+
+(* Filter 1: the φ argument flows past the φ (used directly in the φ's
+   block), so it must not join. *)
+let test_filter_arg_live_in () =
+  let cs =
+    classes_of
+      {|
+func f(p) {  # entry b0
+b0:
+  a := add p, 1
+  br p, b1, b2
+b1:
+  jump b3
+b2:
+  jump b3
+b3:
+  x := phi [b1: a] [b2: p]
+  y := add x, a
+  ret y
+}
+|}
+  in
+  (* a is live into b3 (used by y), so filter 1 refuses it and x cannot
+     absorb a. The other argument, p, dies at the φ and joins freely. *)
+  check name_sets "only p joins x" [ [ "p"; "x" ] ] cs;
+  List.iter
+    (fun c -> checkb "a never coalesces" false (List.mem "a" c))
+    cs
+
+(* Filter 5: two φ arguments defined in the same block interfere at that
+   block's end, so only the first joins. *)
+let test_filter_same_block_args () =
+  let cs =
+    classes_of
+      {|
+func f(p) {  # entry b0
+b0:
+  a := add p, 1
+  b := add p, 2
+  br p, b1, b2
+b1:
+  jump b3
+b2:
+  jump b3
+b3:
+  x := phi [b1: a] [b2: b]
+  ret x
+}
+|}
+  in
+  (* a and b are both defined in b0 and both live at its end (they flow to
+     different preds... they actually flow along different edges, but both
+     are live-out of b0 because both edges leave b0). One of them joins x. *)
+  checki "exactly one pair coalesces" 1 (List.length cs);
+  checki "class of two" 2 (List.length (List.hd cs))
+
+(* No interference at all: straight diamond value merge coalesces fully. *)
+let test_diamond_merge () =
+  let cs =
+    classes_of
+      {|
+func f(p) {  # entry b0
+b0:
+  br p, b1, b2
+b1:
+  a := add p, 1
+  jump b3
+b2:
+  b := add p, 2
+  jump b3
+b3:
+  x := phi [b1: a] [b2: b]
+  ret x
+}
+|}
+  in
+  check name_sets "full merge" [ [ "a"; "b"; "x" ] ] cs
+
+(* The swap: both φs would like both names; interference forces copies. *)
+let test_swap_classes () =
+  let cs =
+    classes_of
+      {|
+func f(p) {  # entry b0
+b0:
+  a := add p, 1
+  b := add p, 2
+  br p, b1, b2
+b1:
+  jump b3
+b2:
+  jump b3
+b3:
+  x := phi [b1: a] [b2: b]
+  y := phi [b1: b] [b2: a]
+  z := add x, y
+  ret z
+}
+|}
+  in
+  (* a joins x (or b joins x) but the crossing pair interferes: no class
+     may contain both a and b. *)
+  List.iter
+    (fun c ->
+      checkb "a and b never share a class" false
+        (List.mem "a" c && List.mem "b" c))
+    cs
+
+(* Chained φs across a loop nest coalesce into one long-lived range. *)
+let test_nested_loop_chain () =
+  let cs =
+    classes_of
+      {|
+func f(n) {  # entry b0
+b0:
+  jump b1
+b1:
+  s1 := phi [b0: 0] [b4: s2]
+  c1 := lt s1, n
+  br c1, b2, b5
+b2:
+  jump b3
+b3:
+  s3 := phi [b2: s1] [b3: s4]
+  s4 := add s3, 1
+  c2 := lt s4, n
+  br c2, b3, b4
+b4:
+  s2 := add s4, 1
+  jump b1
+b5:
+  ret s1
+}
+|}
+  in
+  check name_sets "one chain through both loops"
+    [ [ "s1"; "s2"; "s3"; "s4" ] ]
+    cs
+
+(* Without filters the forest walk must reach the same safety (though
+   possibly different classes): verify on the swap program. *)
+let test_no_filters_still_safe () =
+  let src =
+    {|
+func f(p) {  # entry b0
+b0:
+  a := add p, 1
+  b := add p, 2
+  br p, b1, b2
+b1:
+  jump b3
+b2:
+  jump b3
+b3:
+  x := phi [b1: a] [b2: b]
+  y := phi [b1: b] [b2: a]
+  z := add x, y
+  ret z
+}
+|}
+  in
+  let f = Ir.Edge_split.run (Ir.Parse.func_of_string src) in
+  let classes =
+    Core.Coalesce.congruence_classes
+      ~options:{ Core.Coalesce.use_filters = false; victim_heuristic = true }
+      f
+  in
+  let cfg = Ir.Cfg.of_func f in
+  let dom = Analysis.Dominance.compute f cfg in
+  let live = Analysis.Liveness.compute f cfg in
+  let sites = Core.Interference.def_sites f in
+  List.iter
+    (fun members ->
+      List.iter
+        (fun a ->
+          List.iter
+            (fun b ->
+              checkb "no interference inside class" false
+                (a <> b && Core.Interference.precise f dom live sites a b))
+            members)
+        members)
+    classes
+
+(* Stats plumbing: the filters really do fire on the swap program. *)
+let test_filters_fire () =
+  let src =
+    Ir.Parse.func_of_string
+      {|
+func f(p) {  # entry b0
+b0:
+  a := add p, 1
+  b := add p, 2
+  br p, b1, b2
+b1:
+  jump b3
+b2:
+  jump b3
+b3:
+  x := phi [b1: a] [b2: b]
+  y := phi [b1: b] [b2: a]
+  z := add x, y
+  ret z
+}
+|}
+  in
+  let _, stats = Core.Coalesce.run src in
+  checkb "filters refused positions" true (stats.filter_refusals > 0);
+  let _, stats_off =
+    Core.Coalesce.run
+      ~options:{ Core.Coalesce.use_filters = false; victim_heuristic = true }
+      src
+  in
+  checki "no refusals with filters off" 0 stats_off.filter_refusals;
+  checkb "work moved to forest/local/rename phases" true
+    (stats_off.forest_detached + stats_off.local_detached
+     + stats_off.rename_detached > 0)
+
+let suite =
+  [
+    Alcotest.test_case "loop counter class" `Quick test_loop_counter_class;
+    Alcotest.test_case "filter: arg live into phi block" `Quick
+      test_filter_arg_live_in;
+    Alcotest.test_case "filter: same-block arguments" `Quick
+      test_filter_same_block_args;
+    Alcotest.test_case "diamond merges fully" `Quick test_diamond_merge;
+    Alcotest.test_case "swap never merges a with b" `Quick test_swap_classes;
+    Alcotest.test_case "nested loop chain" `Quick test_nested_loop_chain;
+    Alcotest.test_case "filters off stays safe" `Quick test_no_filters_still_safe;
+    Alcotest.test_case "filter statistics" `Quick test_filters_fire;
+  ]

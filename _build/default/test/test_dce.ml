@@ -1,0 +1,125 @@
+(* Tests for SSA dead-code elimination. *)
+
+open Helpers
+
+let test_removes_dead_chain () =
+  let f =
+    Ir.Parse.func_of_string
+      {|
+func dead(p) {
+b0:
+  a := add p, 1
+  b := mul a, a
+  c := add b, 2
+  r := add p, 5
+  ret r
+}
+|}
+  in
+  let ssa = Ssa.Construct.run_exn f in
+  let out, stats = Ssa.Dce.run ssa in
+  checki "three dead instructions" 3 stats.removed_instrs;
+  checki "live chain kept" 1
+    (Array.fold_left
+       (fun acc (b : Ir.block) -> acc + List.length b.body)
+       0 out.Ir.blocks);
+  assert_equiv ~args:[ Ir.Int 4 ] "dce" f out
+
+let test_keeps_stores () =
+  let f =
+    Ir.Parse.func_of_string
+      {|
+func st(p) {
+b0:
+  a := add p, 1
+  m[0] := a
+  ret
+}
+|}
+  in
+  let out, stats = Ssa.Dce.run f in
+  checki "nothing removed" 0 stats.removed_instrs;
+  assert_equiv ~args:[ Ir.Int 4 ] "stores kept" f out
+
+let test_removes_dead_phi () =
+  (* Minimal SSA puts a φ for x at the join even though x is dead there. *)
+  let f =
+    Frontend.Lower.compile_one
+      "func g(p) { x = 1; if (p > 0) { x = 2; } return p; }"
+  in
+  let ssa = Ssa.Construct.run_exn ~pruning:Ssa.Construct.Minimal f in
+  let phis g =
+    let n = ref 0 in
+    Ir.iter_phis g (fun _ _ -> incr n);
+    !n
+  in
+  checkb "minimal SSA has a dead phi" true (phis ssa > 0);
+  let out, stats = Ssa.Dce.run ssa in
+  checkb "dce removed phis" true (stats.removed_phis > 0);
+  checki "no phis left (x is dead)" 0 (phis out);
+  checkb "still valid SSA" true (Ssa.Ssa_validate.run out = []);
+  assert_equiv ~args:[ Ir.Int 1 ] "dead phi" f out
+
+let test_strictness_init_removal () =
+  (* The paper's Section 2 story: impose strictness by initializing, then
+     let DCE drop the initializations that turned out unnecessary. Here x's
+     zero-init is needed only for the return, so once the return stops
+     using x everything about x dies. *)
+  let f =
+    Frontend.Lower.compile_one
+      "func h(p) { if (p > 0) { x = 5; } y = x; return p; }"
+  in
+  let ssa = Ssa.Construct.run_exn ~fold_copies:false f in
+  let out, stats = Ssa.Dce.run ssa in
+  checkb "inits removed" true (stats.removed_instrs > 0);
+  assert_equiv ~args:[ Ir.Int 1 ] "t" f out;
+  assert_equiv ~args:[ Ir.Int 0 ] "f" f out
+
+let test_dce_before_coalescing_helps_minimal () =
+  (* DCE narrows the gap between minimal and pruned SSA as coalescer
+     input: copies after DCE+coalesce must never exceed coalesce alone. *)
+  List.iter
+    (fun (e : Workloads.Suite.entry) ->
+      let ssa = Ssa.Construct.run_exn ~pruning:Ssa.Construct.Minimal e.func in
+      let plain = Ir.count_copies (Core.Coalesce.run_exn ssa) in
+      let cleaned = Ir.count_copies (Core.Coalesce.run_exn (Ssa.Dce.run_exn ssa)) in
+      checkb
+        (Printf.sprintf "%s: %d <= %d" e.name cleaned plain)
+        true (cleaned <= plain))
+    (Workloads.Suite.kernels ())
+
+let prop_dce_preserves_semantics =
+  QCheck.Test.make ~count:80 ~name:"dce preserves semantics"
+    QCheck.(pair (int_bound 10_000) (int_range 10 60))
+    (fun (seed, size) ->
+      let f = random_program seed size in
+      List.for_all
+        (fun pruning ->
+          let ssa = Ssa.Construct.run_exn ~pruning f in
+          let out = Ssa.Dce.run_exn ssa in
+          Ssa.Ssa_validate.run out = []
+          && outcomes_equal (Interp.run ~args:run_args f)
+               (Interp.run ~args:run_args out))
+        [ Ssa.Construct.Pruned; Ssa.Construct.Minimal ])
+
+let prop_dce_idempotent =
+  QCheck.Test.make ~count:50 ~name:"dce is idempotent"
+    QCheck.(pair (int_bound 10_000) (int_range 10 50))
+    (fun (seed, size) ->
+      let ssa = Ssa.Construct.run_exn (random_program seed size) in
+      let once = Ssa.Dce.run_exn ssa in
+      let _, stats = Ssa.Dce.run once in
+      stats.removed_instrs = 0 && stats.removed_phis = 0)
+
+let suite =
+  [
+    Alcotest.test_case "removes dead chains" `Quick test_removes_dead_chain;
+    Alcotest.test_case "keeps stores" `Quick test_keeps_stores;
+    Alcotest.test_case "removes dead phis" `Quick test_removes_dead_phi;
+    Alcotest.test_case "strictness inits removed (paper sec. 2)" `Quick
+      test_strictness_init_removal;
+    Alcotest.test_case "dce helps minimal SSA coalescing" `Slow
+      test_dce_before_coalescing_helps_minimal;
+    QCheck_alcotest.to_alcotest prop_dce_preserves_semantics;
+    QCheck_alcotest.to_alcotest prop_dce_idempotent;
+  ]

@@ -1,0 +1,201 @@
+(* Tests for the dominance forest (Definition 3.1 / Figure 1) and the
+   graph-free interference queries (Theorems 2.1-2.2, Section 3.4). *)
+
+open Helpers
+
+let build_forest f members =
+  let cfg = Ir.Cfg.of_func f in
+  let dom = Analysis.Dominance.compute f cfg in
+  (Core.Dominance_forest.build dom members, dom)
+
+let test_forest_chain () =
+  (* In the counting loop, entry (b0) dominates header (b1) dominates body
+     (b2); members defined in those blocks must chain. *)
+  let f = counting_loop () in
+  let forest, _ = build_forest f [ (10, 0, 0); (11, 1, 0); (12, 2, 0) ] in
+  checki "one root" 1 (List.length forest);
+  let root = List.hd forest in
+  checki "root is b0's member" 10 root.Core.Dominance_forest.var;
+  checki "two edges" 2 (Core.Dominance_forest.num_edges forest);
+  let rec depth (n : Core.Dominance_forest.node) =
+    1 + List.fold_left (fun acc c -> max acc (depth c)) 0 n.children
+  in
+  checki "chain of three" 3 (depth root)
+
+let test_forest_siblings () =
+  (* Diamond: then (b1) and else (b2) are siblings under the entry. *)
+  let f = diamond () in
+  let forest, _ = build_forest f [ (10, 0, 0); (11, 1, 0); (12, 2, 0) ] in
+  checki "one root" 1 (List.length forest);
+  let root = List.hd forest in
+  checki "two children" 2 (List.length root.Core.Dominance_forest.children);
+  (* Without the entry member, the two become separate roots. *)
+  let forest2, _ = build_forest f [ (11, 1, 0); (12, 2, 0) ] in
+  checki "two roots" 2 (List.length forest2);
+  checki "no edges" 0 (Core.Dominance_forest.num_edges forest2)
+
+let test_forest_collapses_paths () =
+  (* Members in b0 and b3 (join of the diamond, dominated by b0 but not by
+     b1/b2): edge collapses the dominator path. *)
+  let f = diamond () in
+  let forest, _ = build_forest f [ (10, 0, 0); (13, 3, 0) ] in
+  checki "one root" 1 (List.length forest);
+  let root = List.hd forest in
+  checki "direct edge b0->b3" 1 (List.length root.Core.Dominance_forest.children)
+
+let test_forest_same_block () =
+  (* Two members in one block chain in definition order. *)
+  let f = straight_line () in
+  let forest, _ = build_forest f [ (1, 0, 0); (2, 0, 1) ] in
+  checki "one root" 1 (List.length forest);
+  let root = List.hd forest in
+  checki "earlier def is the parent" 1 root.Core.Dominance_forest.var;
+  checki "later def is the child" 2
+    (List.hd root.Core.Dominance_forest.children).Core.Dominance_forest.var
+
+(* Property: forest edges are exactly the immediate-dominance pairs among
+   the member set (Definition 3.1). *)
+let prop_forest_definition =
+  QCheck.Test.make ~count:100 ~name:"forest edges = immediate dominance among members"
+    QCheck.small_nat
+    (fun seed ->
+      let rand = make_rand (seed + 3) in
+      let f = random_cfg rand ~blocks:9 ~regs:3 in
+      let cfg = Ir.Cfg.of_func f in
+      let dom = Analysis.Dominance.compute f cfg in
+      (* Pick one pseudo-member per reachable block (def_index 0). *)
+      let members =
+        List.filter_map
+          (fun l ->
+            if Ir.Cfg.reachable cfg l && rand 3 > 0 then Some (100 + l, l, 0)
+            else None)
+          (List.init (Ir.num_blocks f) Fun.id)
+      in
+      let forest = Core.Dominance_forest.build dom members in
+      (* Expected edge (a, b): a strictly dominates b and no member block in
+         between. *)
+      let blocks = List.map (fun (_, l, _) -> l) members in
+      let expected =
+        List.concat_map
+          (fun a ->
+            List.filter_map
+              (fun b ->
+                if
+                  a <> b
+                  && Analysis.Dominance.strictly_dominates dom a b
+                  && not
+                       (List.exists
+                          (fun c ->
+                            c <> a && c <> b
+                            && Analysis.Dominance.strictly_dominates dom a c
+                            && Analysis.Dominance.strictly_dominates dom c b)
+                          blocks)
+                then Some (a, b)
+                else None)
+              blocks)
+          blocks
+        |> List.sort compare
+      in
+      let got = ref [] in
+      Core.Dominance_forest.iter_edges forest (fun p c ->
+          got := (p.Core.Dominance_forest.block, c.Core.Dominance_forest.block) :: !got);
+      List.sort compare !got = expected
+      && Core.Dominance_forest.size forest = List.length members)
+
+let test_interference_straight_line () =
+  let f = straight_line () in
+  let cfg = Ir.Cfg.of_func f in
+  let dom = Analysis.Dominance.compute f cfg in
+  let live = Analysis.Liveness.compute f cfg in
+  let sites = Core.Interference.def_sites f in
+  (* a=0 (param), x=1, y=2: a := param; x := a+1; y := x*2; ret y.
+     a and x: a's last use is x's def => no interference.
+     x and y: x's last use is y's def => no interference. *)
+  checkb "a vs x" false (Core.Interference.precise f dom live sites 0 1);
+  checkb "x vs y" false (Core.Interference.precise f dom live sites 1 2);
+  checkb "symmetric" false (Core.Interference.precise f dom live sites 2 1);
+  checkb "irreflexive" false (Core.Interference.precise f dom live sites 1 1)
+
+let test_interference_overlap () =
+  (* x := 1; y := 2; r := x + y: x live past y's definition. *)
+  let b = Ir.Builder.create "overlap" in
+  let x = Ir.Builder.fresh_reg ~name:"x" b in
+  let y = Ir.Builder.fresh_reg ~name:"y" b in
+  let r = Ir.Builder.fresh_reg ~name:"r" b in
+  let l = Ir.Builder.add_block b in
+  Ir.Builder.push b l (Copy { dst = x; src = Const (Int 1) });
+  Ir.Builder.push b l (Copy { dst = y; src = Const (Int 2) });
+  Ir.Builder.push b l (Binop { op = Add; dst = r; l = Reg x; r = Reg y });
+  Ir.Builder.terminate b l (Return (Some (Reg r)));
+  let f = Ir.Builder.finish b in
+  let cfg = Ir.Cfg.of_func f in
+  let dom = Analysis.Dominance.compute f cfg in
+  let live = Analysis.Liveness.compute f cfg in
+  let sites = Core.Interference.def_sites f in
+  checkb "x interferes with y" true (Core.Interference.precise f dom live sites x y);
+  checkb "y interferes with x" true (Core.Interference.precise f dom live sites y x);
+  checkb "x vs r: last use at def" false
+    (Core.Interference.precise f dom live sites x r)
+
+let test_interference_cross_block () =
+  (* In the SSA'd counting loop, the φ'd counter versions do not interfere
+     with each other, but n interferes with all of them. *)
+  let ssa = Ssa.Construct.run_exn (counting_loop ()) in
+  let cfg = Ir.Cfg.of_func ssa in
+  let dom = Analysis.Dominance.compute ssa cfg in
+  let live = Analysis.Liveness.compute ssa cfg in
+  let sites = Core.Interference.def_sites ssa in
+  (* Find the φ target and its argument versions. *)
+  let phi = ref None in
+  Ir.iter_phis ssa (fun _ p -> phi := Some p);
+  match !phi with
+  | None -> Alcotest.fail "expected a phi"
+  | Some p ->
+    let arg_regs =
+      List.concat_map (fun (_, op) -> Ir.operand_uses op) p.Ir.args
+    in
+    List.iter
+      (fun a ->
+        checkb "phi target vs arg: no interference" false
+          (Core.Interference.precise ssa dom live sites p.Ir.dst a))
+      arg_regs;
+    let n = List.hd ssa.Ir.params in
+    checkb "n vs phi target: interferes" true
+      (Core.Interference.precise ssa dom live sites n p.Ir.dst)
+
+(* Property: precise interference is symmetric and irreflexive. *)
+let prop_interference_symmetric =
+  QCheck.Test.make ~count:60 ~name:"interference symmetric/irreflexive"
+    QCheck.(pair (int_bound 1000) (int_range 10 40))
+    (fun (seed, size) ->
+      let f = random_program seed size in
+      let ssa = Ssa.Construct.run_exn f in
+      let cfg = Ir.Cfg.of_func ssa in
+      let dom = Analysis.Dominance.compute ssa cfg in
+      let live = Analysis.Liveness.compute ssa cfg in
+      let sites = Core.Interference.def_sites ssa in
+      let n = min ssa.Ir.nregs 25 in
+      List.for_all
+        (fun a ->
+          List.for_all
+            (fun b ->
+              Core.Interference.precise ssa dom live sites a b
+              = Core.Interference.precise ssa dom live sites b a
+              && ((not (a = b)) || not (Core.Interference.precise ssa dom live sites a b)))
+            (List.init n Fun.id))
+        (List.init n Fun.id))
+
+let suite =
+  [
+    Alcotest.test_case "forest: dominator chain" `Quick test_forest_chain;
+    Alcotest.test_case "forest: siblings" `Quick test_forest_siblings;
+    Alcotest.test_case "forest: collapses paths" `Quick test_forest_collapses_paths;
+    Alcotest.test_case "forest: same-block chaining" `Quick test_forest_same_block;
+    QCheck_alcotest.to_alcotest prop_forest_definition;
+    Alcotest.test_case "interference: straight line" `Quick
+      test_interference_straight_line;
+    Alcotest.test_case "interference: overlap" `Quick test_interference_overlap;
+    Alcotest.test_case "interference: across blocks" `Quick
+      test_interference_cross_block;
+    QCheck_alcotest.to_alcotest prop_interference_symmetric;
+  ]

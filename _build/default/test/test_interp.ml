@@ -1,0 +1,159 @@
+(* Tests for the reference interpreter. *)
+
+open Helpers
+
+let ret f args =
+  match (Interp.run ~args f).return_value with
+  | Some v -> v
+  | None -> Alcotest.fail "no return value"
+
+let test_arith () =
+  let f = Frontend.Lower.compile_one "func f(a, b) { return a * b + a / b - a % b; }" in
+  checkb "ints" true (ret f [ Ir.Int 7; Ir.Int 2 ] = Ir.Int (14 + 3 - 1));
+  let g = Frontend.Lower.compile_one "func g(a, b) { return a + b; }" in
+  checkb "float promotion" true (ret g [ Ir.Float 1.5; Ir.Int 2 ] = Ir.Float 3.5)
+
+let test_comparisons_and_bools () =
+  let f = Frontend.Lower.compile_one "func f(a, b) { return (a < b) + (a == a) * 10 + (a >= b) * 100; }" in
+  checkb "bool encoding" true (ret f [ Ir.Int 1; Ir.Int 2 ] = Ir.Int 11)
+
+let test_division_by_zero () =
+  let f = Frontend.Lower.compile_one "func f(a) { return 1 / a; }" in
+  checkb "div by zero raises" true
+    (try
+       ignore (Interp.run ~args:[ Ir.Int 0 ] f);
+       false
+     with Interp.Error Interp.Division_by_zero -> true);
+  let g = Frontend.Lower.compile_one "func g(a) { return 1 % a; }" in
+  checkb "mod by zero raises" true
+    (try
+       ignore (Interp.run ~args:[ Ir.Int 0 ] g);
+       false
+     with Interp.Error Interp.Division_by_zero -> true)
+
+let test_array_semantics () =
+  let f = Frontend.Lower.compile_one
+      "func f(i) { a[i] = 41; a[i + 1] = 1; return a[i] + a[i + 1] + a[99]; }"
+  in
+  checkb "arrays zero-filled, reads work" true (ret f [ Ir.Int 3 ] = Ir.Int 42)
+
+let test_array_bounds () =
+  let f = Frontend.Lower.compile_one "func f(i) { return a[i]; }" in
+  checkb "bounds checked" true
+    (try
+       ignore (Interp.run ~array_size:8 ~args:[ Ir.Int 8 ] f);
+       false
+     with Interp.Error (Interp.Array_bounds ("a", 8)) -> true);
+  checkb "negative index" true
+    (try
+       ignore (Interp.run ~args:[ Ir.Int (-1) ] f);
+       false
+     with Interp.Error (Interp.Array_bounds _) -> true);
+  checkb "float index rejected" true
+    (try
+       ignore (Interp.run ~args:[ Ir.Float 1.5 ] f);
+       false
+     with Interp.Error (Interp.Bad_index "a") -> true)
+
+let test_step_limit () =
+  let f = Frontend.Lower.compile_one "func f(n) { while (1) { n = n + 1; } return n; }" in
+  checkb "step limit" true
+    (try
+       ignore (Interp.run ~step_limit:1000 ~args:[ Ir.Int 0 ] f);
+       false
+     with Interp.Error Interp.Step_limit_exceeded -> true)
+
+let test_phi_parallel_semantics () =
+  (* A hand-built φ swap in a loop: i and j exchange every iteration. With
+     sequential (wrong) φ evaluation the values would collapse. *)
+  let b = Ir.Builder.create "phiswap" in
+  let n = Ir.Builder.add_param ~name:"n" b in
+  let i0 = Ir.Builder.fresh_reg b in
+  let j0 = Ir.Builder.fresh_reg b in
+  let i1 = Ir.Builder.fresh_reg b in
+  let j1 = Ir.Builder.fresh_reg b in
+  let k0 = Ir.Builder.fresh_reg b in
+  let k1 = Ir.Builder.fresh_reg b in
+  let c = Ir.Builder.fresh_reg b in
+  let r = Ir.Builder.fresh_reg b in
+  let entry = Ir.Builder.add_block b in
+  let header = Ir.Builder.add_block b in
+  let body = Ir.Builder.add_block b in
+  let exit_ = Ir.Builder.add_block b in
+  Ir.Builder.push b entry (Copy { dst = i0; src = Const (Int 1) });
+  Ir.Builder.push b entry (Copy { dst = j0; src = Const (Int 2) });
+  Ir.Builder.push b entry (Copy { dst = k0; src = Const (Int 0) });
+  Ir.Builder.terminate b entry (Jump header);
+  (* i1 = φ(i0, j1); j1 = φ(j0, i1): the swap. *)
+  Ir.Builder.push_phi b header
+    { dst = i1; args = [ (entry, Reg i0); (body, Reg j1) ] };
+  Ir.Builder.push_phi b header
+    { dst = j1; args = [ (entry, Reg j0); (body, Reg i1) ] };
+  Ir.Builder.push_phi b header
+    { dst = k1; args = [ (entry, Reg k0); (body, Reg c) ] };
+  Ir.Builder.push b header (Binop { op = Lt; dst = c; l = Reg k1; r = Reg n });
+  Ir.Builder.terminate b header
+    (Branch { cond = Reg c; if_true = body; if_false = exit_ });
+  Ir.Builder.push b body (Binop { op = Add; dst = c; l = Reg k1; r = Const (Int 1) });
+  Ir.Builder.terminate b body (Jump header);
+  Ir.Builder.push b exit_ (Binop { op = Mul; dst = r; l = Reg i1; r = Const (Int 10) });
+  Ir.Builder.push b exit_ (Binop { op = Add; dst = r; l = Reg r; r = Reg j1 });
+  Ir.Builder.terminate b exit_ (Return (Some (Reg r)));
+  let f = Ir.Builder.finish b in
+  let run n_ =
+    match (Interp.run ~args:[ Ir.Int n_ ] f).return_value with
+    | Some (Ir.Int v) -> v
+    | _ -> Alcotest.fail "int expected"
+  in
+  checki "0 iterations: (1,2)" 12 (run 0);
+  checki "1 iteration: (2,1)" 21 (run 1);
+  checki "2 iterations: (1,2)" 12 (run 2);
+  checki "3 iterations: (2,1)" 21 (run 3)
+
+let test_copy_counting () =
+  let f = Frontend.Lower.compile_one "func f(n) { x = 1; y = x; z = y; return z; }" in
+  let o = Interp.run ~args:[ Ir.Int 0 ] f in
+  checki "three copies executed" 3 o.stats.copies_executed
+
+let test_unbound_register () =
+  let b = Ir.Builder.create "unbound" in
+  let x = Ir.Builder.fresh_reg b in
+  let l = Ir.Builder.add_block b in
+  Ir.Builder.terminate b l (Return (Some (Reg x)));
+  let f = Ir.Builder.finish b in
+  checkb "unbound read raises" true
+    (try
+       ignore (Interp.run ~args:[] f);
+       false
+     with Interp.Error (Interp.Unbound_register _) -> true)
+
+let test_arg_mismatch () =
+  let f = Frontend.Lower.compile_one "func f(a, b) { return a + b; }" in
+  checkb "arity checked" true
+    (try
+       ignore (Interp.run ~args:[ Ir.Int 1 ] f);
+       false
+     with Invalid_argument _ -> true)
+
+let test_equivalent () =
+  let f = Frontend.Lower.compile_one "func f(n) { a[0] = n; return n; }" in
+  let o1 = Interp.run ~args:[ Ir.Int 1 ] f in
+  let o2 = Interp.run ~args:[ Ir.Int 1 ] f in
+  let o3 = Interp.run ~args:[ Ir.Int 2 ] f in
+  checkb "same outcome" true (Interp.equivalent o1 o2);
+  checkb "different return" false (Interp.equivalent o1 o3)
+
+let suite =
+  [
+    Alcotest.test_case "arithmetic + promotion" `Quick test_arith;
+    Alcotest.test_case "comparisons" `Quick test_comparisons_and_bools;
+    Alcotest.test_case "division by zero" `Quick test_division_by_zero;
+    Alcotest.test_case "array semantics" `Quick test_array_semantics;
+    Alcotest.test_case "array bounds" `Quick test_array_bounds;
+    Alcotest.test_case "step limit" `Quick test_step_limit;
+    Alcotest.test_case "phi parallel semantics" `Quick test_phi_parallel_semantics;
+    Alcotest.test_case "dynamic copy counting" `Quick test_copy_counting;
+    Alcotest.test_case "unbound register" `Quick test_unbound_register;
+    Alcotest.test_case "argument arity" `Quick test_arg_mismatch;
+    Alcotest.test_case "outcome equivalence" `Quick test_equivalent;
+  ]

@@ -1,0 +1,150 @@
+(* Tests for parallel-copy sequentialization: the machinery behind the
+   lost-copy/swap/virtual-swap handling of Section 3.6. *)
+
+open Helpers
+
+(* Simulate a sequence of Copy instructions over an environment. *)
+let run_copies env instrs =
+  let env = Hashtbl.copy env in
+  List.iter
+    (fun i ->
+      match i with
+      | Ir.Copy { dst; src = Ir.Reg s } ->
+        Hashtbl.replace env dst (Hashtbl.find env s)
+      | Ir.Copy { dst; src = Ir.Const (Ir.Int v) } -> Hashtbl.replace env dst v
+      | _ -> Alcotest.fail "sequentialize emitted a non-copy")
+    instrs;
+  env
+
+(* Reference: the parallel-copy semantics (all reads first). *)
+let run_parallel env (moves : Ssa.Parallel_copy.move list) =
+  let env' = Hashtbl.copy env in
+  let reads =
+    List.map
+      (fun (m : Ssa.Parallel_copy.move) ->
+        match m.src with
+        | Ir.Reg s -> (m.dst, Hashtbl.find env s)
+        | Ir.Const (Ir.Int v) -> (m.dst, v)
+        | Ir.Const (Ir.Float _) -> assert false)
+      moves
+  in
+  List.iter (fun (d, v) -> Hashtbl.replace env' d v) reads;
+  env'
+
+let env_of_list l =
+  let h = Hashtbl.create 8 in
+  List.iter (fun (k, v) -> Hashtbl.replace h k v) l;
+  h
+
+let env_equal a b ~on =
+  List.for_all (fun r -> Hashtbl.find_opt a r = Hashtbl.find_opt b r) on
+
+let fresh_from n =
+  let next = ref n in
+  fun ?name () ->
+    ignore name;
+    let r = !next in
+    incr next;
+    r
+
+let check_moves ?(regs = [ 0; 1; 2; 3; 4; 5 ]) moves =
+  let env = env_of_list (List.map (fun r -> (r, 100 + r)) regs) in
+  let instrs = Ssa.Parallel_copy.sequentialize ~fresh:(fresh_from 100) moves in
+  let got = run_copies env instrs in
+  let want = run_parallel env moves in
+  checkb "parallel semantics preserved" true (env_equal got want ~on:regs);
+  instrs
+
+let test_simple_chain () =
+  (* 1 := 0 and 2 := 1 in parallel: 2 must read the OLD 1. *)
+  let instrs =
+    check_moves [ { dst = 1; src = Reg 0 }; { dst = 2; src = Reg 1 } ]
+  in
+  checki "two copies, no temp" 2 (List.length instrs)
+
+let test_swap_needs_temp () =
+  let moves : Ssa.Parallel_copy.move list =
+    [ { dst = 0; src = Reg 1 }; { dst = 1; src = Reg 0 } ]
+  in
+  checkb "cycle detected" true (Ssa.Parallel_copy.needs_temp moves);
+  let instrs = check_moves moves in
+  checki "swap takes three copies" 3 (List.length instrs)
+
+let test_three_cycle () =
+  let moves : Ssa.Parallel_copy.move list =
+    [ { dst = 0; src = Reg 1 }; { dst = 1; src = Reg 2 }; { dst = 2; src = Reg 0 } ]
+  in
+  checkb "cycle detected" true (Ssa.Parallel_copy.needs_temp moves);
+  let instrs = check_moves moves in
+  checki "3-cycle takes four copies" 4 (List.length instrs)
+
+let test_identity_dropped () =
+  let instrs = check_moves [ { dst = 0; src = Reg 0 } ] in
+  checki "identity move vanishes" 0 (List.length instrs)
+
+let test_consts_and_chain () =
+  (* 0 := 7 while 1 := old 0: the constant write must wait. *)
+  let instrs =
+    check_moves [ { dst = 0; src = Const (Int 7) }; { dst = 1; src = Reg 0 } ]
+  in
+  checki "no temp needed" 2 (List.length instrs)
+
+let test_duplicate_source () =
+  ignore
+    (check_moves
+       [ { dst = 1; src = Reg 0 }; { dst = 2; src = Reg 0 }; { dst = 0; src = Reg 2 } ])
+
+let test_duplicate_dst_rejected () =
+  Alcotest.check_raises "duplicate destination"
+    (Invalid_argument "Parallel_copy: duplicate destination") (fun () ->
+      ignore
+        (Ssa.Parallel_copy.sequentialize ~fresh:(fresh_from 100)
+           [ { dst = 0; src = Reg 1 }; { dst = 0; src = Reg 2 } ]))
+
+let test_no_temp_cases () =
+  checkb "chain has no cycle" false
+    (Ssa.Parallel_copy.needs_temp [ { dst = 1; src = Reg 0 }; { dst = 2; src = Reg 1 } ]);
+  checkb "const has no cycle" false
+    (Ssa.Parallel_copy.needs_temp [ { dst = 0; src = Const (Int 1) } ])
+
+(* Property: a random permutation-with-extras parallel copy is always
+   sequentialized correctly. *)
+let prop_random_parallel_copy =
+  QCheck.Test.make ~count:300 ~name:"random parallel copies preserved"
+    QCheck.(list_of_size Gen.(1 -- 6) (pair (int_bound 7) (int_bound 9)))
+    (fun raw ->
+      (* Build moves with distinct dsts; srcs: 0..7 regs, 8..9 = consts. *)
+      let seen = Hashtbl.create 8 in
+      let moves =
+        List.filter_map
+          (fun (d, s) ->
+            if Hashtbl.mem seen d then None
+            else begin
+              Hashtbl.add seen d ();
+              let src =
+                if s >= 8 then Ir.Const (Ir.Int (1000 + s)) else Ir.Reg s
+              in
+              Some { Ssa.Parallel_copy.dst = d; src }
+            end)
+          raw
+      in
+      let regs = List.init 8 Fun.id in
+      let env = env_of_list (List.map (fun r -> (r, 200 + r)) regs) in
+      let instrs = Ssa.Parallel_copy.sequentialize ~fresh:(fresh_from 50) moves in
+      let got = run_copies env instrs in
+      let want = run_parallel env moves in
+      env_equal got want ~on:regs)
+
+let suite =
+  [
+    Alcotest.test_case "chain ordering" `Quick test_simple_chain;
+    Alcotest.test_case "swap via temp" `Quick test_swap_needs_temp;
+    Alcotest.test_case "three-cycle" `Quick test_three_cycle;
+    Alcotest.test_case "identity dropped" `Quick test_identity_dropped;
+    Alcotest.test_case "constants wait for readers" `Quick test_consts_and_chain;
+    Alcotest.test_case "duplicated source" `Quick test_duplicate_source;
+    Alcotest.test_case "duplicate destination rejected" `Quick
+      test_duplicate_dst_rejected;
+    Alcotest.test_case "needs_temp negatives" `Quick test_no_temp_cases;
+    QCheck_alcotest.to_alcotest prop_random_parallel_copy;
+  ]

@@ -1,0 +1,203 @@
+(* Tests for the SSA simplification pass (constant folding, copy
+   propagation, identities, φ collapsing). *)
+
+open Helpers
+
+let body_len (f : Ir.func) =
+  Array.fold_left (fun acc (b : Ir.block) -> acc + List.length b.body) 0 f.Ir.blocks
+
+let test_constant_folding () =
+  let f =
+    Ir.Parse.func_of_string
+      {|
+func f() {
+b0:
+  a := add 2, 3
+  b := mul a, 4
+  c := sub b, 5
+  ret c
+}
+|}
+  in
+  let out, stats = Ssa.Simplify.run f in
+  checki "all folded" 3 stats.folded;
+  checki "empty body" 0 (body_len out);
+  checkb "returns 15" true
+    ((Interp.run ~args:[] out).return_value = Some (Ir.Int 15))
+
+let test_copy_propagation () =
+  let f =
+    Ir.Parse.func_of_string
+      {|
+func f(p) {
+b0:
+  a := p
+  b := a
+  c := add b, b
+  ret c
+}
+|}
+  in
+  let out, stats = Ssa.Simplify.run f in
+  checki "two copies propagated" 2 stats.copies_propagated;
+  checkb "uses rewritten to p" true
+    (contains (Ir.Printer.func_to_string out) "add p, p");
+  assert_equiv ~args:[ Ir.Int 21 ] "copyprop" f out
+
+let test_identities () =
+  let f =
+    Ir.Parse.func_of_string
+      {|
+func f(p) {
+b0:
+  a := add p, 0
+  b := mul a, 1
+  c := div b, 1
+  d := sub c, 0
+  ret d
+}
+|}
+  in
+  let out, stats = Ssa.Simplify.run f in
+  checki "four identities" 4 stats.identities;
+  checki "empty body" 0 (body_len out);
+  assert_equiv ~args:[ Ir.Int 9 ] "identities int" f out;
+  assert_equiv ~args:[ Ir.Float 2.5 ] "identities float" f out
+
+let test_division_by_zero_not_folded () =
+  let f =
+    Ir.Parse.func_of_string
+      {|
+func f() {
+b0:
+  a := div 1, 0
+  ret a
+}
+|}
+  in
+  let out, stats = Ssa.Simplify.run f in
+  checki "nothing folded" 0 stats.folded;
+  checkb "still faults" true
+    (try
+       ignore (Interp.run ~args:[] out);
+       false
+     with Interp.Error Interp.Division_by_zero -> true)
+
+let test_phi_collapse () =
+  (* Both φ arguments resolve to the same constant after folding. *)
+  let f =
+    Ir.Parse.func_of_string
+      {|
+func f(p) {  # entry b0
+b0:
+  a := add 1, 1
+  br p, b1, b2
+b1:
+  jump b3
+b2:
+  jump b3
+b3:
+  x := phi [b1: a] [b2: 2]
+  ret x
+}
+|}
+  in
+  let out, stats = Ssa.Simplify.run f in
+  checkb "phi collapsed" true (stats.phis_collapsed >= 1);
+  let phis = ref 0 in
+  Ir.iter_phis out (fun _ _ -> incr phis);
+  checki "no phis left" 0 !phis;
+  checkb "returns 2" true
+    ((Interp.run ~args:[ Ir.Int 1 ] out).return_value = Some (Ir.Int 2))
+
+let test_loop_invariant_phi_collapse () =
+  (* x never changes around the loop: x2 = φ(x1, x2) collapses to x1. *)
+  let f =
+    Ir.Parse.func_of_string
+      {|
+func f(n) {  # entry b0
+b0:
+  x1 := add n, 1
+  jump b1
+b1:
+  x2 := phi [b0: x1] [b2: x2]
+  i := phi [b0: 0] [b2: i2]
+  c := lt i, n
+  br c, b2, b3
+b2:
+  i2 := add i, 1
+  jump b1
+b3:
+  ret x2
+}
+|}
+  in
+  let out, stats = Ssa.Simplify.run f in
+  checkb "self-loop phi collapsed" true (stats.phis_collapsed >= 1);
+  assert_equiv ~args:[ Ir.Int 4 ] "invariant" f out
+
+let test_matches_construction_folding () =
+  (* Building SSA without copy folding and then running Simplify must reach
+     (at least) the copy-freedom of folding during construction. *)
+  List.iter
+    (fun (e : Workloads.Suite.entry) ->
+      let folded = Ssa.Construct.run_exn ~fold_copies:true e.func in
+      let unfolded = Ssa.Construct.run_exn ~fold_copies:false e.func in
+      let simplified = Ssa.Simplify.run_exn unfolded in
+      checkb
+        (Printf.sprintf "%s: %d <= %d" e.name
+           (Ir.count_copies simplified) (Ir.count_copies folded))
+        true
+        (Ir.count_copies simplified <= Ir.count_copies folded);
+      checkb (e.name ^ " still valid") true (Ssa.Ssa_validate.run simplified = []);
+      assert_equiv ~args:e.args (e.name ^ " semantics") e.func simplified)
+    (Workloads.Suite.kernels ())
+
+let prop_simplify_preserves_semantics =
+  QCheck.Test.make ~count:80 ~name:"simplify preserves semantics"
+    QCheck.(pair (int_bound 10_000) (int_range 10 60))
+    (fun (seed, size) ->
+      let f = random_program seed size in
+      let ssa = Ssa.Construct.run_exn ~fold_copies:false f in
+      let out = Ssa.Simplify.run_exn ssa in
+      Ssa.Ssa_validate.run out = []
+      && outcomes_equal (Interp.run ~args:run_args f) (Interp.run ~args:run_args out))
+
+let prop_simplify_then_coalesce =
+  QCheck.Test.make ~count:50 ~name:"simplify composes with coalesce + dce"
+    QCheck.(pair (int_bound 10_000) (int_range 10 60))
+    (fun (seed, size) ->
+      let f = random_program seed size in
+      let out =
+        Ssa.Construct.run_exn ~fold_copies:false f
+        |> Ssa.Simplify.run_exn |> Ssa.Dce.run_exn |> Core.Coalesce.run_exn
+      in
+      Ir.Validate.run out = []
+      && outcomes_equal (Interp.run ~args:run_args f) (Interp.run ~args:run_args out))
+
+let prop_simplify_idempotent =
+  QCheck.Test.make ~count:50 ~name:"simplify reaches a fixpoint"
+    QCheck.(pair (int_bound 10_000) (int_range 10 50))
+    (fun (seed, size) ->
+      let ssa = Ssa.Construct.run_exn (random_program seed size) in
+      let once = Ssa.Simplify.run_exn ssa in
+      let _, stats = Ssa.Simplify.run once in
+      stats.folded = 0 && stats.copies_propagated = 0
+      && stats.identities = 0 && stats.phis_collapsed = 0)
+
+let suite =
+  [
+    Alcotest.test_case "constant folding" `Quick test_constant_folding;
+    Alcotest.test_case "copy propagation" `Quick test_copy_propagation;
+    Alcotest.test_case "algebraic identities" `Quick test_identities;
+    Alcotest.test_case "division by zero preserved" `Quick
+      test_division_by_zero_not_folded;
+    Alcotest.test_case "phi collapsing" `Quick test_phi_collapse;
+    Alcotest.test_case "loop-invariant phi collapsing" `Quick
+      test_loop_invariant_phi_collapse;
+    Alcotest.test_case "matches construction-time folding" `Slow
+      test_matches_construction_folding;
+    QCheck_alcotest.to_alcotest prop_simplify_preserves_semantics;
+    QCheck_alcotest.to_alcotest prop_simplify_then_coalesce;
+    QCheck_alcotest.to_alcotest prop_simplify_idempotent;
+  ]

@@ -1,0 +1,74 @@
+(* Tests for the Sreedhar Method I baseline. *)
+
+open Helpers
+
+let kernels = lazy (Workloads.Suite.kernels ())
+
+let phi_count f =
+  let n = ref 0 in
+  Ir.iter_phis f (fun _ _ -> incr n);
+  !n
+
+let test_swap_correct_without_split () =
+  (* Method I's selling point: correct even across critical edges and with
+     swap φs, with no sequencing analysis. Feed it the raw virtual-swap SSA
+     without splitting anything. *)
+  let f = virtual_swap_ssa () in
+  let out, stats = Baseline.Sreedhar.run f in
+  checkb "valid" true (Ir.Validate.run out = []);
+  checki "no phis" 0 (phi_count out);
+  (* two φs with two args each: (2+1) copies per φ *)
+  checki "copies" 6 stats.copies_inserted;
+  checki "fresh names" 2 stats.names_introduced;
+  let run p =
+    match (Interp.run ~args:[ Ir.Int p ] out).return_value with
+    | Some (Ir.Int v) -> v
+    | _ -> Alcotest.fail "int expected"
+  in
+  checki "left" 0 (run 1);
+  checki "right" 2 (run 0)
+
+let test_loop_phi () =
+  let f = counting_loop () in
+  let ssa = Ssa.Construct.run_exn f in
+  let out = Baseline.Sreedhar.run_exn ssa in
+  checkb "valid" true (Ir.Validate.run out = []);
+  assert_equiv ~args:[ Ir.Int 5 ] "loop" f out
+
+let test_most_copies_of_all () =
+  (* The ordering the whole comparison rests on:
+     New <= Standard <= Sreedhar-I in static copies. *)
+  List.iter
+    (fun (e : Workloads.Suite.entry) ->
+      let ssa = Ssa.Construct.run_exn e.func in
+      let coal = Ir.count_copies (Core.Coalesce.run_exn ssa) in
+      let std =
+        Ir.count_copies (Ssa.Destruct_naive.run_exn (Ir.Edge_split.run ssa))
+      in
+      let sreedhar = Ir.count_copies (Baseline.Sreedhar.run_exn ssa) in
+      checkb
+        (Printf.sprintf "%s: %d <= %d <= %d" e.name coal std sreedhar)
+        true
+        (coal <= std && std <= sreedhar))
+    (Lazy.force kernels)
+
+let prop_sreedhar_correct =
+  QCheck.Test.make ~count:60 ~name:"sreedhar-i correct on random programs"
+    QCheck.(pair (int_bound 10_000) (int_range 10 60))
+    (fun (seed, size) ->
+      let f = random_program seed size in
+      let ssa = Ssa.Construct.run_exn f in
+      (* No edge splitting on purpose. *)
+      let out = Baseline.Sreedhar.run_exn ssa in
+      Ir.Validate.run out = []
+      && outcomes_equal (Interp.run ~args:run_args f) (Interp.run ~args:run_args out))
+
+let suite =
+  [
+    Alcotest.test_case "swap without edge splitting" `Quick
+      test_swap_correct_without_split;
+    Alcotest.test_case "loop phi" `Quick test_loop_phi;
+    Alcotest.test_case "copy ordering vs other destructors" `Slow
+      test_most_copies_of_all;
+    QCheck_alcotest.to_alcotest prop_sreedhar_correct;
+  ]

@@ -1,0 +1,195 @@
+(* Unit and property tests for lib/support. *)
+
+open Helpers
+
+let test_uf_basic () =
+  let uf = Support.Union_find.create 10 in
+  checki "fresh singletons" 10 (Support.Union_find.count_sets uf);
+  checkb "not same initially" false (Support.Union_find.same uf 0 1);
+  ignore (Support.Union_find.union uf 0 1);
+  checkb "same after union" true (Support.Union_find.same uf 0 1);
+  ignore (Support.Union_find.union uf 1 2);
+  checkb "transitive" true (Support.Union_find.same uf 0 2);
+  checki "sets merged" 8 (Support.Union_find.count_sets uf);
+  let r = Support.Union_find.union uf 0 0 in
+  checki "self union is stable" (Support.Union_find.find uf 0) r
+
+let test_uf_groups () =
+  let uf = Support.Union_find.create 6 in
+  ignore (Support.Union_find.union uf 0 3);
+  ignore (Support.Union_find.union uf 3 5);
+  ignore (Support.Union_find.union uf 1 2);
+  let groups = Support.Union_find.groups uf in
+  checki "two groups" 2 (List.length groups);
+  let members = List.map snd groups |> List.concat |> List.sort compare in
+  check Alcotest.(list int) "members" [ 0; 1; 2; 3; 5 ] members;
+  List.iter
+    (fun (_, ms) ->
+      check Alcotest.(list int) "sorted members" (List.sort compare ms) ms)
+    groups
+
+let test_uf_grow () =
+  let uf = Support.Union_find.create 3 in
+  ignore (Support.Union_find.union uf 0 2);
+  let uf = Support.Union_find.grow uf 6 in
+  checkb "old sets preserved" true (Support.Union_find.same uf 0 2);
+  checkb "new elements are singletons" false (Support.Union_find.same uf 3 4);
+  checki "length" 6 (Support.Union_find.length uf)
+
+(* Property: union-find agrees with a naive equivalence closure. *)
+let prop_uf_matches_naive =
+  QCheck.Test.make ~count:200 ~name:"union-find matches naive closure"
+    QCheck.(list (pair (int_bound 19) (int_bound 19)))
+    (fun pairs ->
+      let uf = Support.Union_find.create 20 in
+      List.iter (fun (a, b) -> ignore (Support.Union_find.union uf a b)) pairs;
+      (* naive: repeated relabeling *)
+      let label = Array.init 20 (fun i -> i) in
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        List.iter
+          (fun (a, b) ->
+            let m = min label.(a) label.(b) in
+            if label.(a) <> m || label.(b) <> m then begin
+              let la = label.(a) and lb = label.(b) in
+              Array.iteri
+                (fun i l -> if l = la || l = lb then label.(i) <- m)
+                label;
+              changed := true
+            end)
+          pairs
+      done;
+      List.for_all
+        (fun i ->
+          List.for_all
+            (fun j -> Support.Union_find.same uf i j = (label.(i) = label.(j)))
+            (List.init 20 Fun.id))
+        (List.init 20 Fun.id))
+
+let test_bitset_basic () =
+  let s = Support.Bitset.create 70 in
+  checkb "empty" true (Support.Bitset.is_empty s);
+  Support.Bitset.add s 0;
+  Support.Bitset.add s 69;
+  Support.Bitset.add s 33;
+  checkb "mem 0" true (Support.Bitset.mem s 0);
+  checkb "mem 69" true (Support.Bitset.mem s 69);
+  checkb "not mem 1" false (Support.Bitset.mem s 1);
+  checki "cardinal" 3 (Support.Bitset.cardinal s);
+  check Alcotest.(list int) "elements sorted" [ 0; 33; 69 ]
+    (Support.Bitset.elements s);
+  Support.Bitset.remove s 33;
+  checki "cardinal after remove" 2 (Support.Bitset.cardinal s);
+  Support.Bitset.clear s;
+  checkb "cleared" true (Support.Bitset.is_empty s)
+
+let test_bitset_ops () =
+  let a = Support.Bitset.of_list 16 [ 1; 2; 3 ] in
+  let b = Support.Bitset.of_list 16 [ 3; 4 ] in
+  let u = Support.Bitset.copy a in
+  let changed = Support.Bitset.union_into ~dst:u b in
+  checkb "union changed" true changed;
+  check Alcotest.(list int) "union" [ 1; 2; 3; 4 ] (Support.Bitset.elements u);
+  checkb "union again unchanged" false (Support.Bitset.union_into ~dst:u b);
+  let d = Support.Bitset.copy a in
+  Support.Bitset.diff_into ~dst:d b;
+  check Alcotest.(list int) "diff" [ 1; 2 ] (Support.Bitset.elements d);
+  let i = Support.Bitset.copy a in
+  Support.Bitset.inter_into ~dst:i b;
+  check Alcotest.(list int) "inter" [ 3 ] (Support.Bitset.elements i);
+  checkb "equal self" true (Support.Bitset.equal a a);
+  checkb "not equal" false (Support.Bitset.equal a b)
+
+let test_bitset_bounds () =
+  let s = Support.Bitset.create 8 in
+  Alcotest.check_raises "out of range add" (Invalid_argument "Bitset: index out of range")
+    (fun () -> Support.Bitset.add s 8);
+  Alcotest.check_raises "negative" (Invalid_argument "Bitset: index out of range")
+    (fun () -> ignore (Support.Bitset.mem s (-1)))
+
+(* Property: Bitset agrees with stdlib Set on a random op sequence. *)
+let prop_bitset_matches_set =
+  QCheck.Test.make ~count:200 ~name:"bitset matches Set on random ops"
+    QCheck.(list (pair (int_bound 2) (int_bound 63)))
+    (fun ops ->
+      let s = Support.Bitset.create 64 in
+      let m = ref Support.Iset.empty in
+      List.iter
+        (fun (op, x) ->
+          match op with
+          | 0 ->
+            Support.Bitset.add s x;
+            m := Support.Iset.add x !m
+          | 1 ->
+            Support.Bitset.remove s x;
+            m := Support.Iset.remove x !m
+          | _ -> ())
+        ops;
+      Support.Bitset.elements s = Support.Iset.elements !m
+      && Support.Bitset.cardinal s = Support.Iset.cardinal !m)
+
+let test_bit_matrix () =
+  let m = Support.Bit_matrix.create 10 in
+  checkb "empty" false (Support.Bit_matrix.get m 3 7);
+  Support.Bit_matrix.set m 3 7;
+  checkb "set" true (Support.Bit_matrix.get m 3 7);
+  checkb "symmetric" true (Support.Bit_matrix.get m 7 3);
+  Support.Bit_matrix.set m 7 3;
+  checki "count ignores duplicates" 1 (Support.Bit_matrix.count m);
+  Support.Bit_matrix.set m 0 0;
+  checkb "diagonal ignored" false (Support.Bit_matrix.get m 0 0);
+  checki "memory is triangular" ((10 * 9 / 2 + 7) / 8)
+    (Support.Bit_matrix.memory_bytes m);
+  Support.Bit_matrix.clear m;
+  checki "cleared" 0 (Support.Bit_matrix.count m)
+
+(* Property: bit matrix equals a reference pair set. *)
+let prop_bit_matrix =
+  QCheck.Test.make ~count:200 ~name:"bit matrix matches pair set"
+    QCheck.(list (pair (int_bound 14) (int_bound 14)))
+    (fun pairs ->
+      let m = Support.Bit_matrix.create 15 in
+      let reference = Hashtbl.create 16 in
+      List.iter
+        (fun (a, b) ->
+          Support.Bit_matrix.set m a b;
+          if a <> b then Hashtbl.replace reference (min a b, max a b) ())
+        pairs;
+      List.for_all
+        (fun a ->
+          List.for_all
+            (fun b ->
+              Support.Bit_matrix.get m a b
+              = Hashtbl.mem reference (min a b, max a b))
+            (List.init 15 Fun.id))
+        (List.init 15 Fun.id))
+
+let test_vec () =
+  let v = Support.Vec.create () in
+  checki "empty" 0 (Support.Vec.length v);
+  for i = 0 to 99 do
+    Support.Vec.push v i
+  done;
+  checki "length" 100 (Support.Vec.length v);
+  checki "get" 42 (Support.Vec.get v 42);
+  Support.Vec.set v 42 (-1);
+  checki "set" (-1) (Support.Vec.get v 42);
+  checki "to_list length" 100 (List.length (Support.Vec.to_list v));
+  Alcotest.check_raises "bounds" (Invalid_argument "Vec: index out of range")
+    (fun () -> ignore (Support.Vec.get v 100))
+
+let suite =
+  [
+    Alcotest.test_case "union-find basics" `Quick test_uf_basic;
+    Alcotest.test_case "union-find groups" `Quick test_uf_groups;
+    Alcotest.test_case "union-find grow" `Quick test_uf_grow;
+    QCheck_alcotest.to_alcotest prop_uf_matches_naive;
+    Alcotest.test_case "bitset basics" `Quick test_bitset_basic;
+    Alcotest.test_case "bitset set operations" `Quick test_bitset_ops;
+    Alcotest.test_case "bitset bounds checking" `Quick test_bitset_bounds;
+    QCheck_alcotest.to_alcotest prop_bitset_matches_set;
+    Alcotest.test_case "bit matrix" `Quick test_bit_matrix;
+    QCheck_alcotest.to_alcotest prop_bit_matrix;
+    Alcotest.test_case "vec" `Quick test_vec;
+  ]

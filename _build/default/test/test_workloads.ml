@@ -1,0 +1,86 @@
+(* Tests for the kernel suite and the random program generator. *)
+
+open Helpers
+
+let test_kernels_compile_and_run () =
+  let ks = Workloads.Suite.kernels () in
+  checkb "enough kernels" true (List.length ks >= 16);
+  List.iter
+    (fun (e : Workloads.Suite.entry) ->
+      checkb (e.name ^ " validates") true (Ir.Validate.run e.func = []);
+      let o = Interp.run ~args:e.args e.func in
+      checkb (e.name ^ " returns a value") true (o.return_value <> None);
+      checkb (e.name ^ " does real work") true (o.stats.instrs_executed > 100))
+    ks
+
+let test_kernels_have_phi_pressure () =
+  (* The whole point of the suite: SSA form must contain φs to coalesce. *)
+  List.iter
+    (fun (e : Workloads.Suite.entry) ->
+      let ssa = Ssa.Construct.run_exn e.func in
+      checkb (e.name ^ " has phis") true (Ir.count_phi_args ssa > 0))
+    (Workloads.Suite.kernels ())
+
+let test_kernels_deterministic () =
+  let e = Workloads.Suite.find_exn "tomcatv" in
+  let a = Interp.run ~args:e.args e.func in
+  let b = Interp.run ~args:e.args e.func in
+  checkb "deterministic" true (Interp.equivalent a b)
+
+let test_find () =
+  checkb "find existing" true
+    (try
+       ignore (Workloads.Suite.find_exn "saxpy");
+       true
+     with _ -> false);
+  checkb "find missing fails" true
+    (try
+       ignore (Workloads.Suite.find_exn "nope");
+       false
+     with Failure _ -> true)
+
+let test_generator_deterministic () =
+  let cfg = { Workloads.Generator.default with seed = 5; size = 30 } in
+  let a = Workloads.Generator.generate_ir cfg in
+  let b = Workloads.Generator.generate_ir cfg in
+  checkb "same seed, same program" true
+    (Ir.Printer.func_to_string a = Ir.Printer.func_to_string b);
+  let c = Workloads.Generator.generate_ir { cfg with seed = 6 } in
+  checkb "different seed, different program" false
+    (Ir.Printer.func_to_string a = Ir.Printer.func_to_string c)
+
+let test_generator_sizes_scale () =
+  let count size =
+    Ir.count_instrs
+      (Workloads.Generator.generate_ir
+         { Workloads.Generator.default with seed = 3; size })
+  in
+  checkb "bigger size, bigger program" true (count 100 > count 10)
+
+let test_generated_entries () =
+  let es = Workloads.Suite.generated ~sizes:[ 15 ] ~seeds:[ 1; 2 ] () in
+  checki "entries" 2 (List.length es);
+  List.iter
+    (fun (e : Workloads.Suite.entry) ->
+      ignore (Interp.run ~args:e.args e.func))
+    es
+
+let test_large_entries () =
+  List.iter
+    (fun (e : Workloads.Suite.entry) ->
+      checkb (e.name ^ " validates") true (Ir.Validate.run e.func = []);
+      checkb (e.name ^ " is actually large") true (Ir.num_blocks e.func > 50))
+    (Workloads.Suite.large ())
+
+let suite =
+  [
+    Alcotest.test_case "kernels compile and run" `Slow test_kernels_compile_and_run;
+    Alcotest.test_case "kernels produce phi pressure" `Slow
+      test_kernels_have_phi_pressure;
+    Alcotest.test_case "kernels deterministic" `Quick test_kernels_deterministic;
+    Alcotest.test_case "suite lookup" `Quick test_find;
+    Alcotest.test_case "generator deterministic" `Quick test_generator_deterministic;
+    Alcotest.test_case "generator scales" `Quick test_generator_sizes_scale;
+    Alcotest.test_case "generated entries run" `Quick test_generated_entries;
+    Alcotest.test_case "large entries" `Slow test_large_entries;
+  ]
