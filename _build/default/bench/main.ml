@@ -4,8 +4,11 @@
    measured conversion, wrapped by Harness.Measure); memory columns are the
    byte-accurate models of the distinguishing data structures.
 
-   Usage: main.exe [table1|table2|table3|table4|table5|scaling|ablation|all]
+   Usage: main.exe [table1|table2|table3|table4|table5|scaling|ablation|
+                    throughput|all]
           main.exe --fast ...     (shorter Bechamel quotas, noisier numbers)
+          main.exe --json ...     (also write BENCH_1.json: per-table wall
+                                   times + throughput, machine-readable)
 
    Expected shapes (what the paper's tables show and ours must reproduce):
    - Table 1: Briggs* needs far less graph memory than Briggs and roughly
@@ -253,6 +256,61 @@ let copy_tables () =
     (List.rev !rows5 @ [ avg_row r5_std r5_big ])
 
 (* ------------------------------------------------------------------ *)
+(* Extension: batch-compilation throughput across domains.             *)
+(* ------------------------------------------------------------------ *)
+
+(* (jobs, functions/sec, speedup) rows, kept for the JSON emitter. *)
+let throughput_results : (int * float * float) list ref = ref []
+
+let throughput () =
+  let entries = kernels_and_large () in
+  let batch = List.map (fun (e : Workloads.Suite.entry) -> e.func) entries in
+  let nfuncs = List.length batch in
+  (* Coarse wall-clock over whole batches: a batch is tens of milliseconds,
+     so an OLS fit per batch adds nothing; repeat until the budget runs out.
+     One pool per row, reused across every timed batch, so domain spawning
+     is paid once and each domain's scratch arena stays warm. *)
+  let budget = Float.max 0.5 (!quota *. 4.) in
+  let fps jobs =
+    Engine.Pool.with_pool ~jobs (fun pool ->
+        ignore (P.convert_batch_in pool P.New batch);
+        let t0 = M.now_s () in
+        let batches = ref 0 in
+        while M.now_s () -. t0 < budget do
+          ignore (P.convert_batch_in pool P.New batch);
+          incr batches
+        done;
+        let dt = M.now_s () -. t0 in
+        float_of_int (!batches * nfuncs) /. dt)
+  in
+  throughput_results := [];
+  let base = ref 0.0 in
+  let rows =
+    List.map
+      (fun jobs ->
+        let f = fps jobs in
+        if !base = 0.0 then base := f;
+        let speedup = f /. !base in
+        throughput_results := (jobs, f, speedup) :: !throughput_results;
+        [
+          string_of_int jobs;
+          Printf.sprintf "%.1f" f;
+          T.fmt_ratio speedup;
+        ])
+      [ 1; 2; 4 ]
+  in
+  throughput_results := List.rev !throughput_results;
+  T.print
+    ~title:
+      (Printf.sprintf
+         "Throughput: functions/sec over the kernel + generated large suite \
+          (%d functions, New pipeline; speedup vs 1 domain, %d cores \
+          available)"
+         nfuncs (Domain.recommended_domain_count ()))
+    ~header:[ "domains"; "funcs/sec"; "speedup" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
 (* Extension: O(n·α(n)) scaling of the coalescer itself.               *)
 (* ------------------------------------------------------------------ *)
 
@@ -478,37 +536,70 @@ let regalloc_study () =
     @ [ [ "TOTAL"; t "std_sp"; t "new_sp"; t "big_sp"; t "std_cp";
           t "new_cp"; t "big_cp" ] ])
 
+(* ------------------------------------------------------------------ *)
+(* JSON emission: a perf trajectory future PRs can diff against.       *)
+(* ------------------------------------------------------------------ *)
+
+let emit_json ~path ~fast timings =
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"schema\": \"repro-bench/1\",\n";
+  out "  \"fast\": %b,\n" fast;
+  out "  \"quota_s\": %g,\n" !quota;
+  out "  \"tables\": [\n";
+  List.iteri
+    (fun i (name, wall_s) ->
+      out "    {\"name\": %S, \"wall_s\": %.6f}%s\n" name wall_s
+        (if i = List.length timings - 1 then "" else ","))
+    timings;
+  out "  ],\n";
+  out "  \"throughput\": [\n";
+  let tp = !throughput_results in
+  List.iteri
+    (fun i (jobs, fps, speedup) ->
+      out
+        "    {\"jobs\": %d, \"functions_per_sec\": %.3f, \"speedup\": %.4f}%s\n"
+        jobs fps speedup
+        (if i = List.length tp - 1 then "" else ","))
+    tp;
+  out "  ]\n";
+  out "}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  let args =
-    if List.mem "--fast" args then begin
-      quota := 0.05;
-      List.filter (fun a -> a <> "--fast") args
-    end
-    else args
-  in
+  let fast = List.mem "--fast" args in
+  let json = List.mem "--json" args in
+  if fast then quota := 0.05;
+  let args = List.filter (fun a -> a <> "--fast" && a <> "--json") args in
   let what = match args with [] -> [ "all" ] | l -> l in
-  let run name =
+  let timings = ref [] in
+  let timed name thunk =
+    let (), wall_s = M.wall thunk in
+    timings := (name, wall_s) :: !timings
+  in
+  let rec run name =
     match name with
-    | "table1" -> table1 ()
-    | "table2" -> table2 ()
-    | "table3" -> table3 ()
-    | "table4" | "table5" -> copy_tables ()
-    | "scaling" -> scaling ()
-    | "ablation" -> ablation ()
-    | "regalloc" -> regalloc_study ()
-    | "destruction" -> destruction ()
+    | "table1" -> timed name table1
+    | "table2" -> timed name table2
+    | "table3" -> timed name table3
+    | "table4" | "table5" -> timed "table4+5" copy_tables
+    | "scaling" -> timed name scaling
+    | "ablation" -> timed name ablation
+    | "regalloc" -> timed name regalloc_study
+    | "destruction" -> timed name destruction
+    | "throughput" -> timed name throughput
     | "all" ->
-      table1 ();
-      table2 ();
-      table3 ();
-      copy_tables ();
-      scaling ();
-      ablation ();
-      destruction ();
-      regalloc_study ()
+      List.iter run
+        [
+          "table1"; "table2"; "table3"; "table4"; "scaling"; "ablation";
+          "destruction"; "regalloc"; "throughput";
+        ]
     | other ->
       Printf.eprintf "unknown target %S\n" other;
       exit 2
   in
-  List.iter run what
+  List.iter run what;
+  if json then emit_json ~path:"BENCH_1.json" ~fast (List.rev !timings)

@@ -224,20 +224,38 @@ let opt_cmd =
           (Driver.Pipeline.Coalescing Core.Coalesce.default_options)
       & info [ "via" ] ~doc:"SSA-to-CFG conversion: new|standard|briggs|briggs-star.")
   in
-  let run path simplify dce registers conversion =
+  let jobs =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "jobs"; "j" ]
+          ~doc:
+            "Compile the file's functions in parallel on $(docv) domains \
+             (engine batch mode; results are identical to sequential \
+             compilation). 0 means one domain per core."
+          ~docv:"N")
+  in
+  let run path simplify dce registers conversion jobs =
     let config =
       { Driver.Pipeline.default with simplify; dce; registers; conversion }
     in
-    List.iter
-      (fun f ->
-        let r = Driver.Pipeline.compile ~config f in
+    let funcs = load path in
+    let reports =
+      if jobs = 1 then
+        List.map (fun f -> Driver.Pipeline.compile ~config f) funcs
+      else
+        let jobs = if jobs = 0 then Engine.default_jobs () else jobs in
+        Driver.Pipeline.compile_batch ~jobs ~config funcs
+    in
+    List.iter2
+      (fun f (r : Driver.Pipeline.report) ->
         print_func (f.Ir.name ^ " (optimized)") r.output;
         Format.printf "%a@." Driver.Pipeline.pp_report r)
-      (load path)
+      funcs reports
   in
   Cmd.v
     (Cmd.info "opt" ~doc:"Run the whole configurable backend pipeline")
-    Term.(const run $ path $ simplify $ dce $ k $ conversion)
+    Term.(const run $ path $ simplify $ dce $ k $ conversion $ jobs)
 
 let dot_cmd =
   let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in

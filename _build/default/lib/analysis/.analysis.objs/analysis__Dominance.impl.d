@@ -1,1 +1,1 @@
-lib/analysis/dominance.ml: Array Ir List Support
+lib/analysis/dominance.ml: Array Ir List Scratch Support

@@ -1,1 +1,1 @@
-lib/analysis/dominance.mli: Ir
+lib/analysis/dominance.mli: Ir Support

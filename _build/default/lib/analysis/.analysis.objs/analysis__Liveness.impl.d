@@ -1,1 +1,1 @@
-lib/analysis/liveness.ml: Array Bitset Ir List Option Support
+lib/analysis/liveness.ml: Array Bitset Ir List Option Scratch Support

@@ -1,3 +1,4 @@
+open Support
 module Cfg = Ir.Cfg
 
 type t = {
@@ -14,13 +15,13 @@ type t = {
 
 (* Cooper–Harvey–Kennedy: intersect walks two fingers up the (partial) idom
    chain using postorder numbers until they meet. *)
-let compute (f : Ir.func) cfg =
+let compute_into ~scratch (f : Ir.func) cfg =
   let n = Cfg.num_blocks cfg in
   let entry = Cfg.entry cfg in
   let po = Cfg.postorder cfg in
-  let po_num = Array.make n (-1) in
+  let po_num = Scratch.acquire_int_array scratch n (-1) in
   Array.iteri (fun i l -> po_num.(l) <- i) po;
-  let idom = Array.make n (-1) in
+  let idom = Scratch.acquire_int_array scratch n (-1) in
   idom.(entry) <- entry;
   let intersect b1 b2 =
     let rec walk b1 b2 =
@@ -58,20 +59,21 @@ let compute (f : Ir.func) cfg =
     (fun b ->
       if b <> entry && idom.(b) <> -1 then
         children.(idom.(b)) <- b :: children.(idom.(b)))
-    (Cfg.postorder cfg);
+    po;
   (* Preorder / max-preorder numbering of the dominator tree (iterative DFS;
      on the way back up each node learns the largest preorder number reached
      in its subtree — Tarjan's constant-time ancestry test). *)
-  let preorder = Array.make n (-1) in
-  let max_preorder = Array.make n (-1) in
-  let depth = Array.make n 0 in
-  let order = Support.Vec.create () in
+  let preorder = Scratch.acquire_int_array scratch n (-1) in
+  let max_preorder = Scratch.acquire_int_array scratch n (-1) in
+  let depth = Scratch.acquire_int_array scratch n 0 in
+  (* Every reachable block appears in the dominator tree. *)
+  let dom_tree_order = Scratch.acquire_int_array scratch (Array.length po) 0 in
   let counter = ref 0 in
   let rec dfs b d =
     preorder.(b) <- !counter;
+    dom_tree_order.(!counter) <- b;
     incr counter;
     depth.(b) <- d;
-    Support.Vec.push order b;
     List.iter (fun c -> dfs c (d + 1)) children.(b);
     max_preorder.(b) <-
       (match children.(b) with
@@ -81,34 +83,50 @@ let compute (f : Ir.func) cfg =
   dfs entry 0;
   ignore f;
   (* Dominance frontiers (CHK): for each join point, walk each predecessor's
-     idom chain up to (excluding) the join's idom. *)
+     idom chain up to (excluding) the join's idom. [last_seen] marks the
+     blocks whose frontier already contains the current join, so membership
+     is O(1) and construction is linear in the total frontier size. *)
   let frontier = Array.make n [] in
+  let last_seen = Scratch.acquire_int_array scratch n (-1) in
   Array.iter
     (fun b ->
       let preds = Cfg.preds cfg b in
-      if List.length preds >= 2 then
+      match preds with
+      | [] | [ _ ] -> ()
+      | _ ->
         List.iter
           (fun p ->
             if idom.(p) <> -1 then begin
               let runner = ref p in
-              while !runner <> idom.(b) do
-                if not (List.mem b frontier.(!runner)) then
-                  frontier.(!runner) <- b :: frontier.(!runner);
+              while !runner <> idom.(b) && last_seen.(!runner) <> b do
+                frontier.(!runner) <- b :: frontier.(!runner);
+                last_seen.(!runner) <- b;
                 runner := idom.(!runner)
               done
             end)
           preds)
     rpo;
+  Scratch.release_int_array scratch last_seen;
+  Scratch.release_int_array scratch po_num;
   {
     idom;
     entry;
     children;
     preorder;
     max_preorder;
-    dom_tree_order = Support.Vec.to_array order;
+    dom_tree_order;
     frontier;
     depth;
   }
+
+let compute f cfg = compute_into ~scratch:(Scratch.create ()) f cfg
+
+let release scratch t =
+  Scratch.release_int_array scratch t.idom;
+  Scratch.release_int_array scratch t.preorder;
+  Scratch.release_int_array scratch t.max_preorder;
+  Scratch.release_int_array scratch t.depth;
+  Scratch.release_int_array scratch t.dom_tree_order
 
 let idom t l =
   if l = t.entry || t.idom.(l) = -1 then None else Some t.idom.(l)

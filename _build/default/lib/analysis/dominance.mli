@@ -12,6 +12,15 @@ type t
 
 val compute : Ir.func -> Ir.Cfg.t -> t
 
+val compute_into : scratch:Support.Scratch.t -> Ir.func -> Ir.Cfg.t -> t
+(** Like {!compute}, but the numbering arrays (idom, preorder, max-preorder,
+    depth, tree order) and the internal temporaries are acquired from
+    [scratch]. Pair with {!release} to recycle them. *)
+
+val release : Support.Scratch.t -> t -> unit
+(** Return the result's arrays to the arena. [t] must not be used
+    afterwards. *)
+
 val idom : t -> Ir.label -> Ir.label option
 (** Immediate dominator; [None] for the entry and for unreachable blocks. *)
 

@@ -6,15 +6,27 @@ type t = {
   live_out : Bitset.t array;
 }
 
-let compute (f : Ir.func) cfg =
+(* Backward worklist solver. The sets only ever grow (the framework starts
+   from bottom and every transfer is monotone), so both equations can be
+   accumulated in place with [union_into] — no per-block copies and no
+   equality scans per sweep:
+
+     live_out(l) ⊇ phi_out(l) ∪ ⋃ live_in(succ)   (phi_out seeds live_out)
+     live_in(l)  ⊇ gen(l) ∪ (live_out(l) \ kill(l))
+
+   Blocks are seeded in postorder (successors first, the natural order for
+   a backward problem); a block re-enters the worklist only when the
+   live-in of one of its successors actually grew. *)
+let compute_into ~scratch (f : Ir.func) cfg =
   let n = Ir.num_blocks f in
   let nr = f.nregs in
-  let live_in = Array.init n (fun _ -> Bitset.create nr) in
-  let live_out = Array.init n (fun _ -> Bitset.create nr) in
+  let bs () = Scratch.acquire_bitset scratch nr in
+  let live_in = Array.init n (fun _ -> bs ()) in
+  let live_out = Array.init n (fun _ -> bs ()) in
   (* Upward-exposed uses and kills per block. φ arguments are charged to the
      predecessor below, not here; φ targets are kills at the block top. *)
-  let gen = Array.init n (fun _ -> Bitset.create nr) in
-  let kill = Array.init n (fun _ -> Bitset.create nr) in
+  let gen = Array.init n (fun _ -> bs ()) in
+  let kill = Array.init n (fun _ -> bs ()) in
   Array.iter
     (fun (b : Ir.block) ->
       let l = b.label in
@@ -30,44 +42,57 @@ let compute (f : Ir.func) cfg =
         (fun r -> if not (Bitset.mem kill.(l) r) then Bitset.add gen.(l) r)
         (Ir.term_uses b.term))
     f.blocks;
-  (* φ argument registers, grouped by the predecessor they flow out of. *)
-  let phi_out = Array.init n (fun _ -> Bitset.create nr) in
+  (* φ argument registers are uses at the end of the predecessor they flow
+     out of: seed them straight into the predecessor's live-out. *)
   Array.iter
     (fun (b : Ir.block) ->
       List.iter
         (fun (p : Ir.phi) ->
           List.iter
             (fun (pl, op) ->
-              List.iter (Bitset.add phi_out.(pl)) (Ir.operand_uses op))
+              List.iter (Bitset.add live_out.(pl)) (Ir.operand_uses op))
             p.args)
         b.phis)
     f.blocks;
   let po = Cfg.postorder cfg in
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    Array.iter
-      (fun l ->
-        (* live_out(l) = phi_out(l) ∪ ⋃ live_in(succ) *)
-        let out = Bitset.copy phi_out.(l) in
-        List.iter
-          (fun s -> ignore (Bitset.union_into ~dst:out live_in.(s)))
-          (Cfg.succs cfg l);
-        if not (Bitset.equal out live_out.(l)) then begin
-          Bitset.blit ~src:out ~dst:live_out.(l);
-          changed := true
-        end;
-        (* live_in(l) = gen(l) ∪ (live_out(l) \ kill(l)) *)
-        let inb = Bitset.copy out in
-        Bitset.diff_into ~dst:inb kill.(l);
-        ignore (Bitset.union_into ~dst:inb gen.(l));
-        if not (Bitset.equal inb live_in.(l)) then begin
-          Bitset.blit ~src:inb ~dst:live_in.(l);
-          changed := true
-        end)
-      po
+  (* Ring-buffer worklist; [on_list] dedups, so it holds ≤ n entries. *)
+  let queue = Scratch.acquire_int_array scratch (n + 1) 0 in
+  let on_list = Scratch.acquire_int_array scratch n 0 in
+  let head = ref 0 and tail = ref 0 in
+  let push l =
+    if on_list.(l) = 0 then begin
+      on_list.(l) <- 1;
+      queue.(!tail) <- l;
+      tail := (!tail + 1) mod (n + 1)
+    end
+  in
+  Array.iter push po;
+  let tmp = bs () in
+  while !head <> !tail do
+    let l = queue.(!head) in
+    head := (!head + 1) mod (n + 1);
+    on_list.(l) <- 0;
+    List.iter
+      (fun s -> ignore (Bitset.union_into ~dst:live_out.(l) live_in.(s)))
+      (Cfg.succs cfg l);
+    Bitset.blit ~src:live_out.(l) ~dst:tmp;
+    Bitset.diff_into ~dst:tmp kill.(l);
+    ignore (Bitset.union_into ~dst:tmp gen.(l));
+    if Bitset.union_into ~dst:live_in.(l) tmp then
+      List.iter push (Cfg.preds cfg l)
   done;
+  Scratch.release_bitset scratch tmp;
+  Array.iter (Scratch.release_bitset scratch) gen;
+  Array.iter (Scratch.release_bitset scratch) kill;
+  Scratch.release_int_array scratch queue;
+  Scratch.release_int_array scratch on_list;
   { live_in; live_out }
+
+let compute f cfg = compute_into ~scratch:(Scratch.create ()) f cfg
+
+let release scratch t =
+  Array.iter (Scratch.release_bitset scratch) t.live_in;
+  Array.iter (Scratch.release_bitset scratch) t.live_out
 
 let live_in t l = t.live_in.(l)
 let live_out t l = t.live_out.(l)

@@ -1,1 +1,1 @@
-lib/core/coalesce.mli: Ir
+lib/core/coalesce.mli: Ir Support

@@ -41,10 +41,13 @@ type analysis = {
   a_memory : int;
 }
 
-let analyze ~options (f : Ir.func) : analysis =
-  let cfg = Cfg.of_func f in
-  let dom = Dominance.compute f cfg in
-  let live = Liveness.compute f cfg in
+(* [analyze] takes the post-split CFG from its caller ([run] builds it once
+   and shares it with [rewrite]) and draws every analysis buffer from
+   [scratch], so a batch driver compiling many functions on one domain
+   reuses the same liveness vectors and dominator numberings throughout. *)
+let analyze ~options ~scratch ~cfg (f : Ir.func) : analysis =
+  let dom = Dominance.compute_into ~scratch f cfg in
+  let live = Liveness.compute_into ~scratch f cfg in
   let sites = Interference.def_sites f in
   let site r =
     match sites.(r) with
@@ -56,7 +59,7 @@ let analyze ~options (f : Ir.func) : analysis =
   (* Copy-cost estimate used by the victim rule: how many copies would
      detaching this name cause? One per argument position it occupies, and
      one per φ-edge for each φ it is the target of. *)
-  let cost = Array.make f.nregs 0 in
+  let cost = Scratch.acquire_int_array scratch f.nregs 0 in
   Ir.iter_phis f (fun _ p ->
       cost.(p.dst) <- cost.(p.dst) + List.length p.args;
       List.iter
@@ -286,6 +289,9 @@ let analyze ~options (f : Ir.func) : analysis =
     + (40 * !total_forest_nodes)
     + (24 * !n_local_pairs)
   in
+  Scratch.release_int_array scratch cost;
+  Liveness.release scratch live;
+  Dominance.release scratch dom;
   {
     rename;
     final_classes = !final_classes;
@@ -300,8 +306,7 @@ let analyze ~options (f : Ir.func) : analysis =
     a_memory = memory;
   }
 
-let rewrite (f : Ir.func) (a : analysis) =
-  let cfg = Cfg.of_func f in
+let rewrite ~cfg (f : Ir.func) (a : analysis) =
   let rename r = a.rename.(r) in
   let rename_op = function
     | Ir.Reg r -> Ir.Reg (rename r)
@@ -374,10 +379,13 @@ let rewrite (f : Ir.func) (a : analysis) =
     !copies,
     !temps )
 
-let run ?(options = default_options) (f : Ir.func) =
-  let f = Ir.Edge_split.run f in
-  let a = analyze ~options f in
-  let f', copies, temps = rewrite f a in
+let run ?(options = default_options) ?scratch (f : Ir.func) =
+  let scratch =
+    match scratch with Some s -> s | None -> Scratch.create ()
+  in
+  let f, cfg = Ir.Edge_split.run_cfg f in
+  let a = analyze ~options ~scratch ~cfg f in
+  let f', copies, temps = rewrite ~cfg f a in
   ( f',
     {
       classes = a.a_classes;
@@ -393,8 +401,8 @@ let run ?(options = default_options) (f : Ir.func) =
       aux_memory_bytes = a.a_memory;
     } )
 
-let run_exn ?options f = fst (run ?options f)
+let run_exn ?options ?scratch f = fst (run ?options ?scratch f)
 
 let congruence_classes ?(options = default_options) (f : Ir.func) =
-  let f = Ir.Edge_split.run f in
-  (analyze ~options f).final_classes
+  let f, cfg = Ir.Edge_split.run_cfg f in
+  (analyze ~options ~scratch:(Scratch.create ()) ~cfg f).final_classes

@@ -54,12 +54,19 @@ type stats = {
           forest nodes — the New column of Table 3's memory story *)
 }
 
-val run : ?options:options -> Ir.func -> Ir.func * stats
+val run : ?options:options -> ?scratch:Support.Scratch.t -> Ir.func -> Ir.func * stats
 (** [run f] destroys SSA with coalescing. [f] must be regular SSA (pass
     {!Ssa.Ssa_validate}); critical edges are split internally. The result
-    has no φ-nodes. *)
+    has no φ-nodes.
 
-val run_exn : ?options:options -> Ir.func -> Ir.func
+    The CFG of the split function is built once and shared by the analysis
+    and rewrite halves. When [scratch] is given, every analysis buffer
+    (liveness vectors, dominator numberings, cost table) is acquired from —
+    and released back to — that arena, so repeated calls on one domain stop
+    re-allocating; results are identical either way. The arena must belong
+    to the calling domain. *)
+
+val run_exn : ?options:options -> ?scratch:Support.Scratch.t -> Ir.func -> Ir.func
 
 val congruence_classes : ?options:options -> Ir.func -> Ir.reg list list
 (** The final classes (each with ≥ 2 members) that {!run} would merge —

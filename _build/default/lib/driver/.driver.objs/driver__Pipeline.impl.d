@@ -1,1 +1,1 @@
-lib/driver/pipeline.ml: Baseline Core Format Frontend Ir List Printf Regalloc Ssa
+lib/driver/pipeline.ml: Baseline Core Engine Format Frontend Ir List Printf Regalloc Ssa Support

@@ -35,7 +35,7 @@ type report = {
   stages : stage list;
 }
 
-let compile ?(config = default) (input : Ir.func) =
+let compile ?(config = default) ?scratch (input : Ir.func) =
   Ir.Validate.check_exn input;
   let stages = ref [] in
   let record name func note =
@@ -81,7 +81,7 @@ let compile ?(config = default) (input : Ir.func) =
         (Printf.sprintf "%d copies inserted (%d cycle temps)"
            s.copies_inserted s.temps_inserted)
     | Coalescing options ->
-      let g, s = Core.Coalesce.run ~options cur in
+      let g, s = Core.Coalesce.run ~options ?scratch cur in
       record "coalesce" g
         (Printf.sprintf
            "%d classes (%d members), %d copies inserted, %d filter refusals"
@@ -120,6 +120,14 @@ let compile ?(config = default) (input : Ir.func) =
 
 let compile_source ?config source =
   List.map (fun f -> compile ?config f) (Frontend.Lower.compile source)
+
+(* Batch compilation across domains: the per-function work is a pure
+   function of the input (fresh arenas per domain, deterministic passes),
+   so results are input-ordered and identical to sequential compilation. *)
+let compile_batch ?jobs ?config (inputs : Ir.func list) =
+  Engine.map ?jobs
+    (fun f -> compile ?config ~scratch:(Support.Scratch.domain ()) f)
+    inputs
 
 let pp_report ppf r =
   Format.fprintf ppf "@[<v>";

@@ -45,12 +45,21 @@ type report = {
   stages : stage list;  (** in execution order *)
 }
 
-val compile : ?config:config -> Ir.func -> report
+val compile : ?config:config -> ?scratch:Support.Scratch.t -> Ir.func -> report
 (** Run the configured pipeline. The input must be a strict CFG function
-    (e.g. from {!Frontend.Lower}); every intermediate stage is validated. *)
+    (e.g. from {!Frontend.Lower}); every intermediate stage is validated.
+    [scratch] is threaded to the coalescing conversion so batch drivers can
+    reuse analysis buffers across functions; it must belong to the calling
+    domain. *)
 
 val compile_source : ?config:config -> string -> report list
 (** Parse mini-language source and compile every function in it. *)
+
+val compile_batch : ?jobs:int -> ?config:config -> Ir.func list -> report list
+(** Compile a batch of functions in parallel on an {!Engine.Pool} of [jobs]
+    domains (default {!Engine.default_jobs}), each domain reusing its own
+    scratch arena across the functions it compiles. Reports come back in
+    input order and are identical to sequential {!compile} results. *)
 
 val pp_report : Format.formatter -> report -> unit
 (** The per-stage notes, one per line. *)

@@ -1,0 +1,169 @@
+let default_jobs () = Domain.recommended_domain_count ()
+
+module Pool = struct
+  (* Each published batch owns its cursor and completion counter, so a
+     worker that wakes late (or finishes late) can only ever touch the
+     batch it actually saw — never the cursor of a subsequent batch. *)
+  type batch = {
+    task : int -> unit;
+    total : int;
+    next : int Atomic.t;  (* next unclaimed task index *)
+    mutable completed : int;  (* guarded by the pool mutex *)
+    generation : int;
+  }
+
+  type t = {
+    jobs : int;
+    mutex : Mutex.t;
+    work : Condition.t;  (* signalled when a batch is published or on stop *)
+    finished : Condition.t;  (* signalled when a batch's last task completes *)
+    mutable current : batch option;
+    mutable generation : int;
+    mutable stop : bool;
+    mutable domains : unit Domain.t list;
+  }
+
+  (* Claim and execute tasks until the cursor runs past the batch. Tasks are
+     claimed one index at a time: batches are small (one task = one whole
+     function compile), so cursor contention is negligible and dynamic
+     claiming gives the load balancing a static split would lose. *)
+  let drain t (b : batch) =
+    let rec loop () =
+      let i = Atomic.fetch_and_add b.next 1 in
+      if i < b.total then begin
+        b.task i;
+        Mutex.lock t.mutex;
+        b.completed <- b.completed + 1;
+        if b.completed = b.total then Condition.broadcast t.finished;
+        Mutex.unlock t.mutex;
+        loop ()
+      end
+    in
+    loop ()
+
+  let worker t () =
+    let last_gen = ref 0 in
+    let running = ref true in
+    while !running do
+      Mutex.lock t.mutex;
+      while
+        (not t.stop)
+        && (match t.current with
+           | None -> true
+           | Some b -> b.generation = !last_gen)
+      do
+        Condition.wait t.work t.mutex
+      done;
+      if t.stop then begin
+        Mutex.unlock t.mutex;
+        running := false
+      end
+      else begin
+        let b = Option.get t.current in
+        last_gen := b.generation;
+        Mutex.unlock t.mutex;
+        drain t b
+      end
+    done
+
+  let create ?jobs () =
+    let jobs = max 1 (Option.value ~default:(default_jobs ()) jobs) in
+    let t =
+      {
+        jobs;
+        mutex = Mutex.create ();
+        work = Condition.create ();
+        finished = Condition.create ();
+        current = None;
+        generation = 0;
+        stop = false;
+        domains = [];
+      }
+    in
+    t.domains <- List.init (jobs - 1) (fun _ -> Domain.spawn (worker t));
+    t
+
+  let jobs t = t.jobs
+
+  let run t ~total task =
+    if total < 0 then invalid_arg "Engine.Pool.run";
+    if total > 0 then begin
+      if t.stop then invalid_arg "Engine.Pool.run: pool is shut down";
+      if t.domains = [] then
+        for i = 0 to total - 1 do
+          task i
+        done
+      else begin
+        t.generation <- t.generation + 1;
+        let b =
+          {
+            task;
+            total;
+            next = Atomic.make 0;
+            completed = 0;
+            generation = t.generation;
+          }
+        in
+        Mutex.lock t.mutex;
+        t.current <- Some b;
+        Condition.broadcast t.work;
+        Mutex.unlock t.mutex;
+        (* The submitting domain works the batch too. *)
+        drain t b;
+        Mutex.lock t.mutex;
+        while b.completed < b.total do
+          Condition.wait t.finished t.mutex
+        done;
+        t.current <- None;
+        Mutex.unlock t.mutex
+      end
+    end
+
+  let map_array t f arr =
+    let n = Array.length arr in
+    let results = Array.make n None in
+    let errors = Array.make n None in
+    run t ~total:n (fun i ->
+        match f arr.(i) with
+        | v -> results.(i) <- Some v
+        | exception e -> errors.(i) <- Some e);
+    Array.iter (function Some e -> raise e | None -> ()) errors;
+    Array.map Option.get results
+
+  let shutdown t =
+    Mutex.lock t.mutex;
+    let already = t.stop in
+    t.stop <- true;
+    Condition.broadcast t.work;
+    Mutex.unlock t.mutex;
+    if not already then begin
+      List.iter Domain.join t.domains;
+      t.domains <- []
+    end
+
+  let with_pool ?jobs f =
+    let t = create ?jobs () in
+    Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+end
+
+let map ?jobs f l =
+  Pool.with_pool ?jobs (fun pool ->
+      Array.to_list (Pool.map_array pool f (Array.of_list l)))
+
+type compiled = {
+  func : Ir.func;
+  stats : Core.Coalesce.stats;
+}
+
+let compile_one ?options f =
+  let scratch = Support.Scratch.domain () in
+  let ssa = Ssa.Construct.run_exn f in
+  let func, stats = Core.Coalesce.run ?options ~scratch ssa in
+  { func; stats }
+
+let compile_batch_in pool ?options funcs =
+  Array.to_list
+    (Pool.map_array pool (compile_one ?options) (Array.of_list funcs))
+
+let compile_batch ?jobs ?options funcs =
+  Pool.with_pool ?jobs (fun pool -> compile_batch_in pool ?options funcs)

@@ -1,0 +1,69 @@
+(** Multicore batch-compilation engine.
+
+    A {!Pool} owns [jobs - 1] worker domains (OCaml 5 [Domain]s coordinated
+    with a [Mutex]/[Condition] pair plus an atomic task cursor); the
+    submitting domain participates in every batch, so [jobs = 1] degenerates
+    to plain sequential execution with no domain ever spawned. Tasks of a
+    batch are claimed dynamically — whichever domain is free takes the next
+    index — but results are stored by input index, so the output order (and,
+    because every task is a pure function of its input, the output contents)
+    is deterministic and independent of the scheduling.
+
+    Each worker domain carries its own {!Support.Scratch} arena
+    (domain-local storage), which {!compile_batch} threads into the
+    coalescer so analysis buffers are reused across the functions a domain
+    compiles instead of re-allocated per function. *)
+
+module Pool : sig
+  type t
+
+  val create : ?jobs:int -> unit -> t
+  (** [create ~jobs ()] spawns [jobs - 1] worker domains (clamped to at
+      least 1 job; default {!default_jobs}). *)
+
+  val jobs : t -> int
+
+  val run : t -> total:int -> (int -> unit) -> unit
+  (** [run t ~total task] executes [task 0 .. task (total-1)] across the
+      pool and returns when all have finished. [task] must be safe to call
+      from any domain. If one or more tasks raise, the exception of the
+      lowest-numbered failing task is re-raised after the batch drains. *)
+
+  val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+  (** Parallel map with input-order results. *)
+
+  val shutdown : t -> unit
+  (** Stop and join the worker domains. The pool must not be used after.
+      Idempotent. *)
+
+  val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+  (** Create a pool, run [f], and shut the pool down (also on exception). *)
+end
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** One-shot parallel map over a list (pool created and shut down
+    internally); input-order results. *)
+
+type compiled = {
+  func : Ir.func;  (** φ-free output of the paper's coalescer *)
+  stats : Core.Coalesce.stats;
+}
+
+val compile_one : ?options:Core.Coalesce.options -> Ir.func -> compiled
+(** SSA construction followed by {!Core.Coalesce.run} with the calling
+    domain's scratch arena — the per-task work of {!compile_batch}. *)
+
+val compile_batch :
+  ?jobs:int -> ?options:Core.Coalesce.options -> Ir.func list -> compiled list
+(** Compile a batch of non-SSA functions through the New pipeline
+    (SSA construction → coalescing destruction), in parallel across [jobs]
+    domains. Results are in input order and byte-identical to compiling each
+    function sequentially. *)
+
+val compile_batch_in :
+  Pool.t -> ?options:Core.Coalesce.options -> Ir.func list -> compiled list
+(** Like {!compile_batch} but on an existing pool, so repeated batches (a
+    JIT loop, the throughput benchmark) pay the domain-spawn cost once. *)

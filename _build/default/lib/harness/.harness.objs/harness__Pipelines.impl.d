@@ -1,1 +1,1 @@
-lib/harness/pipelines.ml: Analysis Baseline Core Interp Ir Ssa
+lib/harness/pipelines.ml: Analysis Array Baseline Core Engine Interp Ir Ssa Support

@@ -1,1 +1,1 @@
-lib/harness/pipelines.mli: Ir
+lib/harness/pipelines.mli: Engine Ir Support

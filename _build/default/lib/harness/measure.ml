@@ -27,3 +27,10 @@ let ns_per_run ?(quota_s = 0.25) ~name fn =
   | _ -> invalid_arg "Measure.ns_per_run: unexpected test structure"
 
 let seconds ?quota_s ~name fn = ns_per_run ?quota_s ~name fn /. 1e9
+
+let now_s () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
+
+let wall fn =
+  let t0 = now_s () in
+  let v = fn () in
+  (v, now_s () -. t0)

@@ -10,3 +10,11 @@ val ns_per_run : ?quota_s:float -> name:string -> (unit -> 'a) -> float
 
 val seconds : ?quota_s:float -> name:string -> (unit -> 'a) -> float
 (** {!ns_per_run} in seconds. *)
+
+val now_s : unit -> float
+(** Monotonic clock reading in seconds, for coarse wall-clock spans
+    (throughput runs, per-table timings). *)
+
+val wall : (unit -> 'a) -> 'a * float
+(** [wall f] runs [f] once and returns its result with the elapsed wall
+    time in seconds. *)

@@ -28,7 +28,7 @@ let base_bytes ssa =
 let standard_instantiation ssa =
   Ssa.Destruct_naive.run_exn (Ir.Edge_split.run ssa)
 
-let convert pipeline (f : Ir.func) =
+let convert ?scratch pipeline (f : Ir.func) =
   let ssa = Ssa.Construct.run_exn f in
   match pipeline with
   | Standard ->
@@ -41,7 +41,7 @@ let convert pipeline (f : Ir.func) =
       ig_bytes_per_round = [];
     }
   | New ->
-    let out, stats = Core.Coalesce.run ssa in
+    let out, stats = Core.Coalesce.run ?scratch ssa in
     {
       func = out;
       static_copies = Ir.count_copies out;
@@ -67,6 +67,17 @@ let convert pipeline (f : Ir.func) =
       ig_rounds = stats.rounds;
       ig_bytes_per_round = stats.graph_bytes_per_round;
     }
+
+let convert_batch ?jobs pipeline funcs =
+  Engine.map ?jobs
+    (fun f -> convert ~scratch:(Support.Scratch.domain ()) pipeline f)
+    funcs
+
+let convert_batch_in pool pipeline funcs =
+  Array.to_list
+    (Engine.Pool.map_array pool
+       (fun f -> convert ~scratch:(Support.Scratch.domain ()) pipeline f)
+       (Array.of_list funcs))
 
 let dynamic_copies result ~args =
   (Interp.run ~args result.func).stats.copies_executed

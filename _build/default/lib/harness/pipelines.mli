@@ -23,8 +23,18 @@ type result = {
   ig_bytes_per_round : int list;
 }
 
-val convert : pipeline -> Ir.func -> result
-(** Run the whole conversion (SSA construction included). *)
+val convert : ?scratch:Support.Scratch.t -> pipeline -> Ir.func -> result
+(** Run the whole conversion (SSA construction included). [scratch] lets
+    the New pipeline reuse analysis buffers across calls on one domain. *)
+
+val convert_batch : ?jobs:int -> pipeline -> Ir.func list -> result list
+(** Convert a batch of functions in parallel across [jobs] domains via
+    {!Engine}; results are in input order and identical to sequential
+    {!convert}. *)
+
+val convert_batch_in : Engine.Pool.t -> pipeline -> Ir.func list -> result list
+(** Same on an existing pool (the throughput benchmark reuses one pool
+    across many timed batches). *)
 
 val dynamic_copies : result -> args:Ir.value list -> int
 (** Execute under the interpreter and count copies — the Table 4 metric. *)

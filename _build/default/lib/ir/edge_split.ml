@@ -1,8 +1,7 @@
 let is_critical cfg ~src ~dst =
   List.length (Cfg.succs cfg src) > 1 && List.length (Cfg.preds cfg dst) > 1
 
-let critical_edges (f : Mir.func) =
-  let cfg = Cfg.of_func f in
+let critical_edges_in cfg (f : Mir.func) =
   let edges = ref [] in
   Array.iter
     (fun (b : Mir.block) ->
@@ -17,11 +16,14 @@ let critical_edges (f : Mir.func) =
     f.blocks;
   List.rev !edges
 
+let critical_edges (f : Mir.func) = critical_edges_in (Cfg.of_func f) f
+
 let count_critical f = List.length (critical_edges f)
 
-let run (f : Mir.func) =
-  match critical_edges f with
-  | [] -> f
+let run_cfg ?cfg (f : Mir.func) =
+  let cfg = match cfg with Some c -> c | None -> Cfg.of_func f in
+  match critical_edges_in cfg f with
+  | [] -> (f, cfg)
   | edges ->
     let n = Mir.num_blocks f in
     (* Assign a fresh label per critical edge. *)
@@ -66,4 +68,7 @@ let run (f : Mir.func) =
             { Mir.label = l; phis = []; body = []; term = Jump dst }
           end)
     in
-    Mir.with_blocks f blocks
+    let f' = Mir.with_blocks f blocks in
+    (f', Cfg.of_func f')
+
+let run (f : Mir.func) = fst (run_cfg f)

@@ -15,3 +15,9 @@ val count_critical : Mir.func -> int
 val run : Mir.func -> Mir.func
 (** Insert a fresh jump-only block on every critical edge and retarget the
     corresponding φ-argument labels. Idempotent. *)
+
+val run_cfg : ?cfg:Cfg.t -> Mir.func -> Mir.func * Cfg.t
+(** Like {!run}, but also returns a CFG that is valid for the returned
+    function, so downstream analyses need not rebuild it. When [cfg] (a CFG
+    of the input) is supplied it is used to find the critical edges, and it
+    is returned as-is if no edge needed splitting. *)

@@ -1,0 +1,1 @@
+lib/support/scratch.ml: Array Bitset Domain Hashtbl List Option

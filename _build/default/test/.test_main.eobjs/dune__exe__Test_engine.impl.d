@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Analysis Array Core Driver Engine Harness Helpers Ir List Ssa Support Workloads

@@ -23,4 +23,5 @@ let () =
       ("edge-cases", Test_edge_cases.suite);
       ("pipeline", Test_pipeline.suite);
       ("harness", Test_harness.suite);
+      ("engine", Test_engine.suite);
     ]

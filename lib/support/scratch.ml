@@ -1,0 +1,82 @@
+type stats = {
+  bitset_hits : int;
+  bitset_misses : int;
+  array_hits : int;
+  array_misses : int;
+}
+
+type t = {
+  bitsets : (int, Bitset.t list) Hashtbl.t;  (* capacity -> free buffers *)
+  arrays : (int, int array list) Hashtbl.t;  (* length -> free buffers *)
+  mutable bitset_hits : int;
+  mutable bitset_misses : int;
+  mutable array_hits : int;
+  mutable array_misses : int;
+}
+
+(* Free lists are capped so a long-running domain that once saw a huge
+   function does not pin an unbounded amount of memory. *)
+let max_free_per_key = 32
+
+let create () =
+  {
+    bitsets = Hashtbl.create 16;
+    arrays = Hashtbl.create 16;
+    bitset_hits = 0;
+    bitset_misses = 0;
+    array_hits = 0;
+    array_misses = 0;
+  }
+
+let key = Domain.DLS.new_key (fun () -> create ())
+let domain () = Domain.DLS.get key
+
+let acquire_bitset t n =
+  match Hashtbl.find_opt t.bitsets n with
+  | Some (b :: rest) ->
+    Hashtbl.replace t.bitsets n rest;
+    t.bitset_hits <- t.bitset_hits + 1;
+    Bitset.clear b;
+    b
+  | Some [] | None ->
+    t.bitset_misses <- t.bitset_misses + 1;
+    Bitset.create n
+
+let release_bitset t b =
+  let n = Bitset.capacity b in
+  let free = Option.value ~default:[] (Hashtbl.find_opt t.bitsets n) in
+  if List.length free < max_free_per_key then
+    Hashtbl.replace t.bitsets n (b :: free)
+
+let acquire_int_array t n fill =
+  match Hashtbl.find_opt t.arrays n with
+  | Some (a :: rest) ->
+    Hashtbl.replace t.arrays n rest;
+    t.array_hits <- t.array_hits + 1;
+    Array.fill a 0 n fill;
+    a
+  | Some [] | None ->
+    t.array_misses <- t.array_misses + 1;
+    Array.make n fill
+
+let release_int_array t a =
+  let n = Array.length a in
+  let free = Option.value ~default:[] (Hashtbl.find_opt t.arrays n) in
+  if List.length free < max_free_per_key then
+    Hashtbl.replace t.arrays n (a :: free)
+
+let stats t =
+  {
+    bitset_hits = t.bitset_hits;
+    bitset_misses = t.bitset_misses;
+    array_hits = t.array_hits;
+    array_misses = t.array_misses;
+  }
+
+let clear t =
+  Hashtbl.reset t.bitsets;
+  Hashtbl.reset t.arrays;
+  t.bitset_hits <- 0;
+  t.bitset_misses <- 0;
+  t.array_hits <- 0;
+  t.array_misses <- 0
