@@ -3,6 +3,15 @@
 
 open Cmdliner
 
+(* Exit codes: 0 success; 1 a fuzz discrepancy was found; 2 the input file
+   could not be parsed (usage errors keep cmdliner's own 124); 3 the program
+   faulted under the interpreter; 125 internal error. User-facing failures
+   are printed as diagnostics on stderr, never as raw exception backtraces. *)
+let exit_parse_error = 2
+let exit_runtime_fault = 3
+
+exception Input_error of string
+
 let read_file path =
   let ic = open_in_bin path in
   Fun.protect
@@ -15,17 +24,17 @@ let load path =
   let source = read_file path in
   if Filename.check_suffix path ".ir" then begin
     match Ir.Parse.funcs_of_string source with
-    | [] -> failwith "no functions in input"
+    | [] -> raise (Input_error (path ^ ": no functions in input"))
     | fs -> fs
     | exception Ir.Parse.Error (msg, line) ->
-      failwith (Printf.sprintf "%s:%d: %s" path line msg)
+      raise (Input_error (Printf.sprintf "%s:%d: %s" path line msg))
   end
   else
     match Frontend.Lower.compile source with
-    | [] -> failwith "no functions in input"
+    | [] -> raise (Input_error (path ^ ": no functions in input"))
     | fs -> fs
     | exception Frontend.Parser.Error (msg, line) ->
-      failwith (Printf.sprintf "%s:%d: %s" path line msg)
+      raise (Input_error (Printf.sprintf "%s:%d: %s" path line msg))
 
 let print_func title f =
   Printf.printf "==== %s ====\n%s\n\n" title (Ir.Printer.func_to_string f)
@@ -81,7 +90,8 @@ let dump_cmd =
           Printf.printf "rounds=%d coalesced=%d remaining-copies=%d\n"
             stats.rounds stats.coalesced stats.copies_remaining
         | _ -> assert false)
-      (load path)
+      (load path);
+    0
   in
   Cmd.v
     (Cmd.info "dump" ~doc:"Show the IR of a pipeline stage")
@@ -122,7 +132,8 @@ let run_cmd =
           | Some v -> Format.asprintf "%a" Ir.Printer.pp_value v
           | None -> "(nothing)")
           o.stats.instrs_executed o.stats.copies_executed)
-      (load path)
+      (load path);
+    0
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Interpret a program and report dynamic statistics")
@@ -150,7 +161,8 @@ let compare_cmd =
         Printf.printf "%-16s %10d %10d %10d %10d\n" f.Ir.name
           (Ir.count_copies standard) (Ir.count_copies new_)
           (Ir.count_copies briggs) (Ir.count_copies briggs_star))
-      (load path)
+      (load path);
+    0
   in
   Cmd.v
     (Cmd.info "compare" ~doc:"Static copy counts for all four pipelines")
@@ -192,7 +204,8 @@ let alloc_cmd =
           in
           Printf.printf "semantics preserved: %b\n" same
         end)
-      (load path)
+      (load path);
+    0
   in
   Cmd.v
     (Cmd.info "alloc"
@@ -235,27 +248,37 @@ let opt_cmd =
              compilation). 0 means one domain per core."
           ~docv:"N")
   in
-  let run path simplify dce registers conversion jobs =
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Translation-validate every compilation: execute input and \
+             output on Check.equiv's argument battery and audit the \
+             coalescer's congruence classes for interference.")
+  in
+  let run path simplify dce registers conversion jobs check =
     let config =
       { Driver.Pipeline.default with simplify; dce; registers; conversion }
     in
     let funcs = load path in
     let reports =
       if jobs = 1 then
-        List.map (fun f -> Driver.Pipeline.compile ~config f) funcs
+        List.map (fun f -> Driver.Pipeline.compile ~config ~check f) funcs
       else
         let jobs = if jobs = 0 then Engine.default_jobs () else jobs in
-        Driver.Pipeline.compile_batch ~jobs ~config funcs
+        Driver.Pipeline.compile_batch ~jobs ~config ~check funcs
     in
     List.iter2
       (fun f (r : Driver.Pipeline.report) ->
         print_func (f.Ir.name ^ " (optimized)") r.output;
         Format.printf "%a@." Driver.Pipeline.pp_report r)
-      funcs reports
+      funcs reports;
+    0
   in
   Cmd.v
     (Cmd.info "opt" ~doc:"Run the whole configurable backend pipeline")
-    Term.(const run $ path $ simplify $ dce $ k $ conversion $ jobs)
+    Term.(const run $ path $ simplify $ dce $ k $ conversion $ jobs $ check)
 
 let dot_cmd =
   let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
@@ -274,16 +297,176 @@ let dot_cmd =
           (match what with
           | `Cfg -> Ir.Dot.cfg f
           | `Domtree -> Ir.Dot.dominator_tree f))
-      (load path)
+      (load path);
+    0
   in
   Cmd.v
     (Cmd.info "dot" ~doc:"Emit Graphviz for the CFG or the dominator tree")
     Term.(const run $ path $ what $ ssa)
 
+(* ------------------------------------------------------------------ *)
+(* fuzz: differential fuzzing of every SSA-to-CFG route               *)
+(* ------------------------------------------------------------------ *)
+
+(* The four conversion routes of Driver.Pipeline, cross-compared through
+   the input program (equivalence to the input is transitive, so any
+   route-vs-route discrepancy shows up as at least one route-vs-input
+   mismatch). *)
+let fuzz_routes : (string * Driver.Pipeline.conversion) list =
+  [
+    ("standard", Driver.Pipeline.Standard);
+    ("new", Driver.Pipeline.Coalescing Core.Coalesce.default_options);
+    ("briggs*", Driver.Pipeline.Graph Baseline.Ig_coalesce.Briggs_star);
+    ("sreedhar-i", Driver.Pipeline.Sreedhar_i);
+  ]
+
+type fuzz_failure = {
+  seed : int;
+  route : string;  (** a conversion route, or ["audit"] *)
+  detail : string;
+}
+
+(* Does this failing seed still fail on a candidate program? Any breakage —
+   the same semantic mismatch, an audit violation, or a compiler crash — is
+   kept, the standard fuzzing convention. *)
+let fuzz_keep ~route ~vectors (ast : Frontend.Ast.func) =
+  match Frontend.Lower.lower ast with
+  | exception _ -> false
+  | ir, _ -> (
+    if route = "audit" then
+      match Check.interference_audit (Ssa.Construct.run_exn ir) with
+      | Ok () -> false
+      | Error _ | (exception _) -> true
+    else
+      let conversion = List.assoc route fuzz_routes in
+      let config = { Driver.Pipeline.default with conversion } in
+      match Driver.Pipeline.compile ~config ir with
+      | exception _ -> true
+      | r -> (
+        match Check.equiv ~vectors ~reference:ir r.output with
+        | Ok () -> false
+        | Error _ -> true))
+
+let fuzz_seed ~size ~vectors seed : fuzz_failure list =
+  let ast =
+    Workloads.Generator.generate
+      { Workloads.Generator.default with seed; size }
+  in
+  let ir, _ = Frontend.Lower.lower ast in
+  let audit_failures =
+    match Check.interference_audit (Ssa.Construct.run_exn ir) with
+    | Ok () -> []
+    | Error i ->
+      [
+        {
+          seed;
+          route = "audit";
+          detail = Format.asprintf "%a" Check.pp_interference i;
+        };
+      ]
+  in
+  audit_failures
+  @ List.concat_map
+      (fun (route, conversion) ->
+        let config = { Driver.Pipeline.default with conversion } in
+        match Driver.Pipeline.compile ~config ir with
+        | exception e ->
+          [ { seed; route; detail = "compiler raised " ^ Printexc.to_string e } ]
+        | r -> (
+          match Check.equiv ~vectors ~reference:ir r.output with
+          | Ok () -> []
+          | Error m ->
+            [ { seed; route; detail = Format.asprintf "%a" Check.pp_mismatch m } ]))
+      fuzz_routes
+
+let fuzz_cmd =
+  let seeds =
+    Arg.(
+      value & opt int 50
+      & info [ "seeds" ] ~doc:"Number of random programs to generate."
+          ~docv:"N")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ]
+          ~doc:"Fan seeds out over $(docv) engine domains (0 = one per core)."
+          ~docv:"J")
+  in
+  let size =
+    Arg.(
+      value & opt int 40
+      & info [ "size" ] ~doc:"Rough statement count of each program.")
+  in
+  let vectors =
+    Arg.(
+      value & opt int 8
+      & info [ "vectors" ] ~doc:"Argument vectors per equivalence check.")
+  in
+  let run seeds jobs size vectors =
+    let jobs = if jobs = 0 then Engine.default_jobs () else jobs in
+    let results =
+      Engine.Pool.with_pool ~jobs (fun pool ->
+          Engine.Pool.map_array pool
+            (fuzz_seed ~size ~vectors)
+            (Array.init seeds (fun i -> i + 1)))
+    in
+    let failures = List.concat (Array.to_list results) in
+    match failures with
+    | [] ->
+      Printf.printf
+        "fuzz: %d seeds x %d routes (+ interference audit): no discrepancies\n"
+        seeds
+        (List.length fuzz_routes);
+      0
+    | first :: _ ->
+      List.iter
+        (fun f ->
+          Printf.eprintf "fuzz: seed %d, route %s:\n%s\n" f.seed f.route
+            f.detail)
+        failures;
+      (* Shrink the first failure into a minimal standalone repro. *)
+      let ast =
+        Workloads.Generator.generate
+          { Workloads.Generator.default with seed = first.seed; size }
+      in
+      let shrunk =
+        Check.shrink ~keep:(fuzz_keep ~route:first.route ~vectors) ast
+      in
+      Printf.eprintf
+        "fuzz: %d failure(s); minimal repro for seed %d route %s (%d \
+         statements):\n%s"
+        (List.length failures) first.seed first.route
+        (Frontend.Ast.count_stmts shrunk)
+        (Frontend.Ast.func_to_source shrunk);
+      1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: random programs through every SSA-to-CFG \
+          route, outputs executed and cross-compared, congruence classes \
+          audited; failures are shrunk to a minimal repro")
+    Term.(const run $ seeds $ jobs $ size $ vectors)
+
 let () =
   let doc = "fast copy coalescing and live-range identification (PLDI 2002)" in
-  exit
-    (Cmd.eval
-       (Cmd.group
-          (Cmd.info "repro-cli" ~doc)
-          [ dump_cmd; run_cmd; compare_cmd; alloc_cmd; opt_cmd; dot_cmd ]))
+  let code =
+    try
+      Cmd.eval' ~catch:false
+        (Cmd.group
+           (Cmd.info "repro-cli" ~doc)
+           [ dump_cmd; run_cmd; compare_cmd; alloc_cmd; opt_cmd; dot_cmd; fuzz_cmd ])
+    with
+    | Input_error msg ->
+      Printf.eprintf "repro-cli: %s\n" msg;
+      exit_parse_error
+    | Interp.Error e ->
+      Printf.eprintf "repro-cli: runtime fault: %s\n"
+        (Format.asprintf "%a" Interp.pp_error e);
+      exit_runtime_fault
+    | Check.Failed msg ->
+      Printf.eprintf "repro-cli: %s\n" msg;
+      exit_runtime_fault
+  in
+  exit code

@@ -35,7 +35,7 @@ type report = {
   stages : stage list;
 }
 
-let compile ?(config = default) ?scratch (input : Ir.func) =
+let compile ?(config = default) ?(check = false) ?scratch (input : Ir.func) =
   Ir.Validate.check_exn input;
   let stages = ref [] in
   let record name func note =
@@ -73,6 +73,7 @@ let compile ?(config = default) ?scratch (input : Ir.func) =
            s.removed_instrs s.removed_phis)
     end
   in
+  let pre_conversion = cur in
   let cur =
     match config.conversion with
     | Standard ->
@@ -116,17 +117,30 @@ let compile ?(config = default) ?scratch (input : Ir.func) =
            r.stats.spill_stores)
   in
   Ir.Validate.check_exn cur;
+  if check then begin
+    (* Translation validation: the φ-free output must compute what the
+       input computed (spill memory is the allocator's private scratch),
+       and — for the paper's coalescer — the surviving congruence classes
+       must be interference-free under both independent oracles. *)
+    (match config.conversion with
+    | Coalescing options -> Check.interference_audit_exn ~options pre_conversion
+    | Standard | Graph _ | Sreedhar_i -> ());
+    let ignore_arrays =
+      if config.registers = None then [] else [ Regalloc.spill_array ]
+    in
+    Check.equiv_exn ~ignore_arrays ~reference:input cur
+  end;
   { input; output = cur; stages = List.rev !stages }
 
-let compile_source ?config source =
-  List.map (fun f -> compile ?config f) (Frontend.Lower.compile source)
+let compile_source ?config ?check source =
+  List.map (fun f -> compile ?config ?check f) (Frontend.Lower.compile source)
 
 (* Batch compilation across domains: the per-function work is a pure
    function of the input (fresh arenas per domain, deterministic passes),
    so results are input-ordered and identical to sequential compilation. *)
-let compile_batch ?jobs ?config (inputs : Ir.func list) =
+let compile_batch ?jobs ?config ?check (inputs : Ir.func list) =
   Engine.map ?jobs
-    (fun f -> compile ?config ~scratch:(Support.Scratch.domain ()) f)
+    (fun f -> compile ?config ?check ~scratch:(Support.Scratch.domain ()) f)
     inputs
 
 let pp_report ppf r =

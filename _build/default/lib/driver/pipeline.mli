@@ -45,17 +45,24 @@ type report = {
   stages : stage list;  (** in execution order *)
 }
 
-val compile : ?config:config -> ?scratch:Support.Scratch.t -> Ir.func -> report
+val compile :
+  ?config:config -> ?check:bool -> ?scratch:Support.Scratch.t -> Ir.func -> report
 (** Run the configured pipeline. The input must be a strict CFG function
     (e.g. from {!Frontend.Lower}); every intermediate stage is validated.
-    [scratch] is threaded to the coalescing conversion so batch drivers can
-    reuse analysis buffers across functions; it must belong to the calling
-    domain. *)
+    With [check] (default [false]) the run is additionally
+    translation-validated: the output is executed against the input on
+    {!Check.equiv}'s argument battery (ignoring the allocator's spill
+    memory when [registers] is set), and for the {!Coalescing} conversion
+    the surviving congruence classes pass {!Check.interference_audit};
+    violations raise {!Check.Failed}. [scratch] is threaded to the
+    coalescing conversion so batch drivers can reuse analysis buffers
+    across functions; it must belong to the calling domain. *)
 
-val compile_source : ?config:config -> string -> report list
+val compile_source : ?config:config -> ?check:bool -> string -> report list
 (** Parse mini-language source and compile every function in it. *)
 
-val compile_batch : ?jobs:int -> ?config:config -> Ir.func list -> report list
+val compile_batch :
+  ?jobs:int -> ?config:config -> ?check:bool -> Ir.func list -> report list
 (** Compile a batch of functions in parallel on an {!Engine.Pool} of [jobs]
     domains (default {!Engine.default_jobs}), each domain reusing its own
     scratch arena across the functions it compiles. Reports come back in

@@ -1,1 +1,1 @@
-lib/frontend/ast.ml: Format
+lib/frontend/ast.ml: Format List String

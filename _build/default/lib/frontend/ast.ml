@@ -52,3 +52,43 @@ let rec pp_expr ppf = function
     Format.fprintf ppf "(%a %s %a)" pp_expr l s pp_expr r
   | Cast_float e -> Format.fprintf ppf "float(%a)" pp_expr e
   | Cast_int e -> Format.fprintf ppf "int(%a)" pp_expr e
+
+(* Statement and function printers emit concrete mini-language syntax that
+   [Parser] re-parses to the same AST (expressions come out fully
+   parenthesized, which the grammar accepts), so a shrunk failing program
+   can be saved as a standalone repro file. *)
+
+let rec pp_stmt ppf = function
+  | Assign (v, e) -> Format.fprintf ppf "@[<h>%s = %a;@]" v pp_expr e
+  | Store (a, i, e) ->
+    Format.fprintf ppf "@[<h>%s[%a] = %a;@]" a pp_expr i pp_expr e
+  | If (c, t, []) ->
+    Format.fprintf ppf "@[<v 2>if (%a) {%a@]@,}" pp_expr c pp_stmts t
+  | If (c, t, e) ->
+    Format.fprintf ppf "@[<v 2>if (%a) {%a@]@,@[<v 2>} else {%a@]@,}" pp_expr
+      c pp_stmts t pp_stmts e
+  | While (c, b) ->
+    Format.fprintf ppf "@[<v 2>while (%a) {%a@]@,}" pp_expr c pp_stmts b
+  | Return None -> Format.fprintf ppf "return;"
+  | Return (Some e) -> Format.fprintf ppf "@[<h>return %a;@]" pp_expr e
+
+and pp_stmts ppf = function
+  | [] -> ()
+  | ss -> List.iter (fun s -> Format.fprintf ppf "@,%a" pp_stmt s) ss
+
+let pp_func ppf f =
+  Format.fprintf ppf "@[<v 2>func %s(%s) {%a@]@,}@." f.name
+    (String.concat ", " f.params)
+    pp_stmts f.body
+
+let func_to_source f = Format.asprintf "%a" pp_func f
+
+let count_stmts f =
+  (* Statements at every nesting level — the size measure of shrunk repros. *)
+  let rec stmts ss = List.fold_left (fun acc s -> acc + stmt s) 0 ss
+  and stmt = function
+    | Assign _ | Store _ | Return _ -> 1
+    | If (_, t, e) -> 1 + stmts t + stmts e
+    | While (_, b) -> 1 + stmts b
+  in
+  stmts f.body

@@ -31,6 +31,16 @@ let sequentialize ~(fresh : ?name:string -> unit -> Ir.reg) moves =
     moves;
   let out = ref [] in
   let emit dst src = out := Ir.Copy { dst; src } :: !out in
+  let source_of dst =
+    match Hashtbl.find_opt pred dst with
+    | Some src -> src
+    | None ->
+      invalid_arg
+        (Printf.sprintf
+           "Parallel_copy.sequentialize: r%d reached the worklist but is not \
+            a move destination (malformed move set)"
+           dst)
+  in
   let ready = ref [] in
   List.iter
     (fun m -> if not (Hashtbl.mem loc m.dst) then ready := m.dst :: !ready)
@@ -43,7 +53,7 @@ let sequentialize ~(fresh : ?name:string -> unit -> Ir.reg) moves =
       | b :: rest ->
         ready := rest;
         Hashtbl.replace emitted b ();
-        (match Hashtbl.find pred b with
+        (match source_of b with
         | Ir.Const _ as c -> emit b c
         | Ir.Reg a ->
           let c = Hashtbl.find loc a in
@@ -76,20 +86,28 @@ let sequentialize ~(fresh : ?name:string -> unit -> Ir.reg) moves =
 let needs_temp moves =
   let moves = real_moves moves in
   (* A cycle exists iff following dst → src(dst) from some dst returns to
-     it without hitting a constant or a non-destination register. *)
+     it without hitting a constant or a non-destination register. Every
+     chain has out-degree ≤ 1, so a colored walk suffices: a register whose
+     whole chain was already followed to the end ([`Done]) can never lie on
+     a cycle and need not be re-walked — this keeps the scan linear on long
+     copy chains instead of quadratic (one fresh visited-set per start). *)
   let pred = Hashtbl.create 8 in
   List.iter (fun m -> Hashtbl.replace pred m.dst m.src) moves;
+  let state : (Ir.reg, [ `On_path | `Done ]) Hashtbl.t = Hashtbl.create 8 in
   let exception Cycle in
   try
     List.iter
       (fun m ->
-        let visited = Hashtbl.create 4 in
         let rec follow r =
-          if Hashtbl.mem visited r then raise Cycle;
-          Hashtbl.add visited r ();
-          match Hashtbl.find_opt pred r with
-          | Some (Ir.Reg s) -> follow s
-          | Some (Ir.Const _) | None -> ()
+          match Hashtbl.find_opt state r with
+          | Some `Done -> ()
+          | Some `On_path -> raise Cycle
+          | None ->
+            Hashtbl.add state r `On_path;
+            (match Hashtbl.find_opt pred r with
+            | Some (Ir.Reg s) -> follow s
+            | Some (Ir.Const _) | None -> ());
+            Hashtbl.replace state r `Done
         in
         follow m.dst)
       moves;

@@ -14,10 +14,22 @@ type rng = { mutable state : int64 }
 let rng_make seed = { state = Int64.of_int (seed * 2 + 1) }
 
 let rand rng bound =
-  rng.state <-
-    Int64.add (Int64.mul rng.state 6364136223846793005L) 1442695040888963407L;
-  let x = Int64.to_int (Int64.shift_right_logical rng.state 33) in
-  x mod bound
+  if bound <= 0 then invalid_arg "Generator.rand: bound must be positive";
+  let draw () =
+    rng.state <-
+      Int64.add (Int64.mul rng.state 6364136223846793005L) 1442695040888963407L;
+    Int64.to_int (Int64.shift_right_logical rng.state 33)
+  in
+  (* Rejection-sample the 31-bit draw down to the largest multiple of
+     [bound], so every residue is equally likely (plain [x mod bound] favors
+     small residues whenever bound does not divide 2^31). *)
+  let range = 1 lsl 31 in
+  let limit = range - (range mod bound) in
+  let rec go () =
+    let x = draw () in
+    if x < limit then x mod bound else go ()
+  in
+  go ()
 
 let pick rng l = List.nth l (rand rng (List.length l))
 
@@ -36,7 +48,13 @@ let generate cfg =
     | 3 ->
       Frontend.Ast.Binary
         (pick rng [ Frontend.Ast.Add; Frontend.Ast.Sub; Frontend.Ast.Mul ], expr (depth - 1), expr (depth - 1))
-    | 4 -> Frontend.Ast.Unary (Frontend.Ast.Neg, expr (depth - 1))
+    | 4 -> (
+      (* Keep negated literals in the parser's canonical folded form, so
+         generated ASTs round-trip through print-and-reparse exactly. *)
+      match expr (depth - 1) with
+      | Frontend.Ast.Int i -> Frontend.Ast.Int (-i)
+      | Frontend.Ast.Float x -> Frontend.Ast.Float (-.x)
+      | e -> Frontend.Ast.Unary (Frontend.Ast.Neg, e))
     | 5 -> Frontend.Ast.Index (pick rng arr_names, index_expr ())
     | _ ->
       Frontend.Ast.Binary
@@ -143,10 +161,17 @@ let generate cfg =
     in
     [ Frontend.Ast.Return (Some sum) ]
   in
-  {
-    Frontend.Ast.name = Printf.sprintf "gen%d_%d" cfg.seed cfg.size;
-    params = [ "n"; "a" ];
-    body = preamble @ body @ checksum;
-  }
+  (* The name must identify the config: two configs differing only in
+     [num_vars] or [max_depth] generate different programs, so they may not
+     share a name (batch drivers and benches key tables by function name).
+     The default-shaped suffix is omitted to keep historical names stable. *)
+  let name =
+    if cfg.num_vars = default.num_vars && cfg.max_depth = default.max_depth
+    then Printf.sprintf "gen%d_%d" cfg.seed cfg.size
+    else
+      Printf.sprintf "gen%d_%d_v%dd%d" cfg.seed cfg.size cfg.num_vars
+        cfg.max_depth
+  in
+  { Frontend.Ast.name; params = [ "n"; "a" ]; body = preamble @ body @ checksum }
 
 let generate_ir cfg = fst (Frontend.Lower.lower (generate cfg))

@@ -1,0 +1,1 @@
+test/test_check.ml: Alcotest Array Baseline Check Core Driver Format Frontend Helpers Ir List Printf Ssa String Workloads

@@ -1,1 +1,1 @@
-test/test_workloads.ml: Alcotest Helpers Interp Ir List Ssa Workloads
+test/test_workloads.ml: Alcotest Frontend Helpers Interp Ir List Ssa Workloads

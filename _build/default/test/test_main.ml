@@ -22,6 +22,7 @@ let () =
       ("workloads", Test_workloads.suite);
       ("edge-cases", Test_edge_cases.suite);
       ("pipeline", Test_pipeline.suite);
+      ("check", Test_check.suite);
       ("harness", Test_harness.suite);
       ("engine", Test_engine.suite);
     ]

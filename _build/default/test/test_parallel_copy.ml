@@ -107,6 +107,82 @@ let test_no_temp_cases () =
   checkb "const has no cycle" false
     (Ssa.Parallel_copy.needs_temp [ { dst = 0; src = Const (Int 1) } ])
 
+let test_virtual_swap_edges () =
+  (* The two parallel-copy sets Figure 3 places on the join edges: each is
+     cycle-free on its own even though together they encode a swap, so
+     neither may burn a temporary. *)
+  List.iter
+    (fun (moves : Ssa.Parallel_copy.move list) ->
+      checkb "edge copies need no temp" false
+        (Ssa.Parallel_copy.needs_temp moves);
+      let instrs = check_moves moves in
+      checki "two copies per edge" 2 (List.length instrs))
+    [
+      [ { dst = 3; src = Reg 1 }; { dst = 4; src = Reg 2 } ];
+      [ { dst = 3; src = Reg 2 }; { dst = 4; src = Reg 1 } ];
+    ]
+
+let test_cycle_with_constants () =
+  (* A real swap plus constant writes into registers the rest of the move
+     set reads: the reads must still happen before the constant lands. *)
+  let moves : Ssa.Parallel_copy.move list =
+    [
+      { dst = 0; src = Reg 1 };
+      { dst = 1; src = Reg 0 };
+      { dst = 2; src = Const (Int 9) };
+      { dst = 3; src = Reg 2 };
+    ]
+  in
+  checkb "cycle detected" true (Ssa.Parallel_copy.needs_temp moves);
+  ignore (check_moves moves)
+
+let test_long_chain_memoized () =
+  (* A 200-copy chain exercises the memoized cycle walk (each register's
+     chain is followed once, not once per start); closing the chain into a
+     ring must flip the answer. *)
+  let chain =
+    List.init 200 (fun i -> { Ssa.Parallel_copy.dst = i + 1; src = Ir.Reg i })
+  in
+  checkb "long chain no temp" false (Ssa.Parallel_copy.needs_temp chain);
+  checkb "closed chain cycles" true
+    (Ssa.Parallel_copy.needs_temp
+       ({ Ssa.Parallel_copy.dst = 0; src = Ir.Reg 200 } :: chain))
+
+(* Property: full random permutations of the register file — the all-cycles
+   stress case — are sequentialized correctly, and [needs_temp] agrees
+   exactly with whether [sequentialize] allocated a temporary. *)
+let prop_random_permutation =
+  QCheck.Test.make ~count:200 ~name:"random permutations preserved"
+    QCheck.(pair (int_bound 6) (int_bound 1000))
+    (fun (extra, seed) ->
+      let n = extra + 2 in
+      let rand = make_rand (seed + 1) in
+      let perm = Array.init n Fun.id in
+      for i = n - 1 downto 1 do
+        let j = rand (i + 1) in
+        let t = perm.(i) in
+        perm.(i) <- perm.(j);
+        perm.(j) <- t
+      done;
+      let moves =
+        List.init n (fun d ->
+            { Ssa.Parallel_copy.dst = d; src = Ir.Reg perm.(d) })
+      in
+      let regs = List.init n Fun.id in
+      let env = env_of_list (List.map (fun r -> (r, 300 + r)) regs) in
+      let instrs =
+        Ssa.Parallel_copy.sequentialize ~fresh:(fresh_from 100) moves
+      in
+      let got = run_copies env instrs in
+      let want = run_parallel env moves in
+      let used_temp =
+        List.exists
+          (function Ir.Copy { dst; _ } -> dst >= 100 | _ -> false)
+          instrs
+      in
+      env_equal got want ~on:regs
+      && used_temp = Ssa.Parallel_copy.needs_temp moves)
+
 (* Property: a random permutation-with-extras parallel copy is always
    sequentialized correctly. *)
 let prop_random_parallel_copy =
@@ -146,5 +222,11 @@ let suite =
     Alcotest.test_case "duplicate destination rejected" `Quick
       test_duplicate_dst_rejected;
     Alcotest.test_case "needs_temp negatives" `Quick test_no_temp_cases;
+    Alcotest.test_case "virtual-swap edge copies" `Quick
+      test_virtual_swap_edges;
+    Alcotest.test_case "cycle mixed with constants" `Quick
+      test_cycle_with_constants;
+    Alcotest.test_case "long chain memoization" `Quick test_long_chain_memoized;
+    QCheck_alcotest.to_alcotest prop_random_permutation;
     QCheck_alcotest.to_alcotest prop_random_parallel_copy;
   ]

@@ -49,6 +49,19 @@ let test_generator_deterministic () =
   checkb "different seed, different program" false
     (Ir.Printer.func_to_string a = Ir.Printer.func_to_string c)
 
+let test_generator_names_disambiguate () =
+  (* Configurations that differ only in [num_vars] or [max_depth] generate
+     different programs, so they must not collide on function name; the
+     default shape keeps its historical [gen<seed>_<size>] name. *)
+  let base = { Workloads.Generator.default with seed = 42; size = 40 } in
+  let name cfg = (Workloads.Generator.generate cfg).Frontend.Ast.name in
+  check Alcotest.string "default name stable" "gen42_40" (name base);
+  let more_vars = { base with num_vars = base.num_vars + 2 } in
+  let deeper = { base with max_depth = base.max_depth + 1 } in
+  checkb "num_vars reflected" false (name base = name more_vars);
+  checkb "max_depth reflected" false (name base = name deeper);
+  checkb "variants distinct from each other" false (name more_vars = name deeper)
+
 let test_generator_sizes_scale () =
   let count size =
     Ir.count_instrs
@@ -80,6 +93,8 @@ let suite =
     Alcotest.test_case "kernels deterministic" `Quick test_kernels_deterministic;
     Alcotest.test_case "suite lookup" `Quick test_find;
     Alcotest.test_case "generator deterministic" `Quick test_generator_deterministic;
+    Alcotest.test_case "generator names disambiguate" `Quick
+      test_generator_names_disambiguate;
     Alcotest.test_case "generator scales" `Quick test_generator_sizes_scale;
     Alcotest.test_case "generated entries run" `Quick test_generated_entries;
     Alcotest.test_case "large entries" `Slow test_large_entries;

@@ -104,9 +104,14 @@ and mul_expr st =
 
 and unary_expr st =
   match peek st with
-  | Token.MINUS ->
+  | Token.MINUS -> (
     advance st;
-    Ast.Unary (Ast.Neg, unary_expr st)
+    (* Fold negation of a literal so a printed negative constant re-parses
+       to the same AST node ([Ast.pp_expr] emits [Int (-4)] as "-4"). *)
+    match unary_expr st with
+    | Ast.Int i -> Ast.Int (-i)
+    | Ast.Float x -> Ast.Float (-.x)
+    | e -> Ast.Unary (Ast.Neg, e))
   | Token.NOT ->
     advance st;
     Ast.Unary (Ast.Not, unary_expr st)
