@@ -537,6 +537,17 @@ let regalloc_study () =
           t "new_cp"; t "big_cp" ] ])
 
 (* ------------------------------------------------------------------ *)
+(* metrics: the Obs counter vectors over the kernel suite — the same   *)
+(* numbers the golden metrics-regression test pins down.               *)
+(* ------------------------------------------------------------------ *)
+
+let metrics () =
+  let funcs =
+    List.map (fun (e : Workloads.Suite.entry) -> e.func) (kernels ())
+  in
+  Harness.Obs_report.print (Harness.Obs_report.collect funcs)
+
+(* ------------------------------------------------------------------ *)
 (* JSON emission: a perf trajectory future PRs can diff against.       *)
 (* ------------------------------------------------------------------ *)
 
@@ -591,11 +602,12 @@ let () =
     | "regalloc" -> timed name regalloc_study
     | "destruction" -> timed name destruction
     | "throughput" -> timed name throughput
+    | "metrics" -> timed name metrics
     | "all" ->
       List.iter run
         [
           "table1"; "table2"; "table3"; "table4"; "scaling"; "ablation";
-          "destruction"; "regalloc"; "throughput";
+          "destruction"; "regalloc"; "throughput"; "metrics";
         ]
     | other ->
       Printf.eprintf "unknown target %S\n" other;

@@ -449,6 +449,55 @@ let fuzz_cmd =
           audited; failures are shrunk to a minimal repro")
     Term.(const run $ seeds $ jobs $ size $ vectors)
 
+(* ------------------------------------------------------------------ *)
+(* report: the Obs counter/timing vectors for all four routes          *)
+(* ------------------------------------------------------------------ *)
+
+let report_cmd =
+  let path =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "Program to report on (mini-language, or .ir). Defaults to the \
+             built-in workload kernel suite.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the repro-obs/1 JSON document instead of tables.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ]
+          ~doc:"Compile on $(docv) engine domains (0 = one per core)."
+          ~docv:"N")
+  in
+  let run path json jobs =
+    let jobs = if jobs = 0 then Engine.default_jobs () else jobs in
+    let funcs =
+      match path with
+      | Some p -> load p
+      | None ->
+        List.map
+          (fun (e : Workloads.Suite.entry) -> e.func)
+          (Workloads.Suite.kernels ())
+    in
+    let report = Harness.Obs_report.collect ~jobs funcs in
+    if json then print_string (Obs.report_to_json ~spans:true report)
+    else Harness.Obs_report.print report;
+    0
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Operation counters and phase times for every SSA-to-CFG \
+          conversion route (the paper's Tables 1-5 vectors)")
+    Term.(const run $ path $ json $ jobs)
+
 let () =
   let doc = "fast copy coalescing and live-range identification (PLDI 2002)" in
   let code =
@@ -456,7 +505,16 @@ let () =
       Cmd.eval' ~catch:false
         (Cmd.group
            (Cmd.info "repro-cli" ~doc)
-           [ dump_cmd; run_cmd; compare_cmd; alloc_cmd; opt_cmd; dot_cmd; fuzz_cmd ])
+           [
+             dump_cmd;
+             run_cmd;
+             compare_cmd;
+             alloc_cmd;
+             opt_cmd;
+             dot_cmd;
+             fuzz_cmd;
+             report_cmd;
+           ])
     with
     | Input_error msg ->
       Printf.eprintf "repro-cli: %s\n" msg;

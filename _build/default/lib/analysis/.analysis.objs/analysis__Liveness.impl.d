@@ -1,1 +1,1 @@
-lib/analysis/liveness.ml: Array Bitset Ir List Option Scratch Support
+lib/analysis/liveness.ml: Array Bitset Ir List Obs Option Scratch Support

@@ -1,1 +1,1 @@
-lib/analysis/liveness.mli: Ir Support
+lib/analysis/liveness.mli: Ir Obs Support

@@ -17,7 +17,7 @@ type t = {
    Blocks are seeded in postorder (successors first, the natural order for
    a backward problem); a block re-enters the worklist only when the
    live-in of one of its successors actually grew. *)
-let compute_into ~scratch (f : Ir.func) cfg =
+let compute_into ~scratch ?obs (f : Ir.func) cfg =
   let n = Ir.num_blocks f in
   let nr = f.nregs in
   let bs () = Scratch.acquire_bitset scratch nr in
@@ -68,10 +68,12 @@ let compute_into ~scratch (f : Ir.func) cfg =
   in
   Array.iter push po;
   let tmp = bs () in
+  let pops = ref 0 in
   while !head <> !tail do
     let l = queue.(!head) in
     head := (!head + 1) mod (n + 1);
     on_list.(l) <- 0;
+    incr pops;
     List.iter
       (fun s -> ignore (Bitset.union_into ~dst:live_out.(l) live_in.(s)))
       (Cfg.succs cfg l);
@@ -86,9 +88,10 @@ let compute_into ~scratch (f : Ir.func) cfg =
   Array.iter (Scratch.release_bitset scratch) kill;
   Scratch.release_int_array scratch queue;
   Scratch.release_int_array scratch on_list;
+  Option.iter (fun o -> Obs.add o Obs.Liveness_worklist_pops !pops) obs;
   { live_in; live_out }
 
-let compute f cfg = compute_into ~scratch:(Scratch.create ()) f cfg
+let compute ?obs f cfg = compute_into ~scratch:(Scratch.create ()) ?obs f cfg
 
 let release scratch t =
   Array.iter (Scratch.release_bitset scratch) t.live_in;

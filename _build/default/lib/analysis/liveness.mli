@@ -13,13 +13,15 @@
 
 type t
 
-val compute : Ir.func -> Ir.Cfg.t -> t
+val compute : ?obs:Obs.t -> Ir.func -> Ir.Cfg.t -> t
 
-val compute_into : scratch:Support.Scratch.t -> Ir.func -> Ir.Cfg.t -> t
+val compute_into :
+  scratch:Support.Scratch.t -> ?obs:Obs.t -> Ir.func -> Ir.Cfg.t -> t
 (** Like {!compute}, but every bit vector — the result sets as well as the
     per-block gen/kill temporaries and the worklist — is acquired from
     [scratch]. Pair with {!release} to recycle the result's vectors once the
-    analysis is no longer needed. *)
+    analysis is no longer needed. When [obs] is given, the number of worklist
+    pops is charged to [Obs.Liveness_worklist_pops]. *)
 
 val release : Support.Scratch.t -> t -> unit
 (** Return the result's live-in/live-out vectors to the arena. [t] must not

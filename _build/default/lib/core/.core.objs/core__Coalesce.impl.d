@@ -1,1 +1,1 @@
-lib/core/coalesce.ml: Analysis Array Dominance_forest Hashtbl Imap Interference Ir List Printf Scratch Ssa Support Sys Union_find
+lib/core/coalesce.ml: Analysis Array Dominance_forest Hashtbl Imap Interference Ir List Obs Option Printf Scratch Ssa Support Sys Union_find

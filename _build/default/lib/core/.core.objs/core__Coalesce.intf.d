@@ -1,1 +1,1 @@
-lib/core/coalesce.mli: Ir Support
+lib/core/coalesce.mli: Ir Obs Support

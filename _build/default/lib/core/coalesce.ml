@@ -45,9 +45,11 @@ type analysis = {
    and shares it with [rewrite]) and draws every analysis buffer from
    [scratch], so a batch driver compiling many functions on one domain
    reuses the same liveness vectors and dominator numberings throughout. *)
-let analyze ~options ~scratch ~cfg (f : Ir.func) : analysis =
+let analyze ~options ~scratch ~cfg ?obs (f : Ir.func) : analysis =
+  let oincr c = Option.iter (fun o -> Obs.incr o c) obs in
+  let oadd c n = Option.iter (fun o -> Obs.add o c n) obs in
   let dom = Dominance.compute_into ~scratch f cfg in
-  let live = Liveness.compute_into ~scratch f cfg in
+  let live = Liveness.compute_into ~scratch ?obs f cfg in
   let sites = Interference.def_sites f in
   let site r =
     match sites.(r) with
@@ -88,34 +90,55 @@ let analyze ~options ~scratch ~cfg (f : Ir.func) : analysis =
           List.iter
             (fun (_pl, op) ->
               match op with
-              | Ir.Const _ -> incr const_args
+              | Ir.Const _ ->
+                incr const_args;
+                oincr Obs.Const_phi_args
               | Ir.Reg a ->
                 if Union_find.same uf a d then
                   Hashtbl.replace seen_blocks (site a).Interference.block ()
                 else begin
                   let sa = site a in
-                  let refuse =
-                    options.use_filters
-                    && ((* 1. the argument flows past the φ into b itself *)
-                        Liveness.live_in_mem live l a
-                       || (* 2. the target is live out of the argument's
-                             defining block *)
-                       Liveness.live_out_mem live sa.Interference.block d
-                       || (* 3. argument is a φ whose block the target is
-                             live into *)
-                       (is_phi_dst.(a)
-                       && Liveness.live_in_mem live sa.Interference.block d)
-                       || (* 4. argument already joined another φ of this
-                             block *)
-                       List.exists (fun d' -> Union_find.same uf a d') !processed_dsts
-                       || (* 5. two arguments defined in the same block *)
-                       Hashtbl.mem seen_blocks sa.Interference.block)
+                  (* The five filters, in the paper's order; the first to
+                     fire names the refusal (the || chain this replaces
+                     short-circuited the same way). *)
+                  let refusal =
+                    if not options.use_filters then None
+                    else if
+                      (* 1. the argument flows past the φ into b itself *)
+                      Liveness.live_in_mem live l a
+                    then Some Obs.Filter_arg_live_into_block
+                    else if
+                      (* 2. the target is live out of the argument's
+                         defining block *)
+                      Liveness.live_out_mem live sa.Interference.block d
+                    then Some Obs.Filter_target_live_out
+                    else if
+                      (* 3. argument is a φ whose block the target is live
+                         into *)
+                      is_phi_dst.(a)
+                      && Liveness.live_in_mem live sa.Interference.block d
+                    then Some Obs.Filter_phi_arg_live_in
+                    else if
+                      (* 4. argument already joined another φ of this
+                         block *)
+                      List.exists
+                        (fun d' -> Union_find.same uf a d')
+                        !processed_dsts
+                    then Some Obs.Filter_sibling_phi
+                    else if
+                      (* 5. two arguments defined in the same block *)
+                      Hashtbl.mem seen_blocks sa.Interference.block
+                    then Some Obs.Filter_same_block_args
+                    else None
                   in
-                  if refuse then incr filter_refusals
-                  else begin
+                  match refusal with
+                  | Some which ->
+                    incr filter_refusals;
+                    oincr which
+                  | None ->
                     ignore (Union_find.union uf d a);
+                    oincr Obs.Phi_args_unioned;
                     Hashtbl.replace seen_blocks sa.Interference.block ()
-                  end
                 end)
             p.args;
           processed_dsts := d :: !processed_dsts)
@@ -142,7 +165,8 @@ let analyze ~options ~scratch ~cfg (f : Ir.func) : analysis =
             let root = Union_find.find uf p.dst in
             if Hashtbl.mem seen root then begin
               detached.(p.dst) <- true;
-              incr rename_detached
+              incr rename_detached;
+              oincr Obs.Rename_detaches
             end
             else Hashtbl.add seen root ()
           end)
@@ -190,7 +214,11 @@ let analyze ~options ~scratch ~cfg (f : Ir.func) : analysis =
               process_node c;
               drain ()
             end
-            else if definite node.var c then begin
+            else if begin
+              oincr Obs.Forest_interference_checks;
+              definite node.var c
+            end
+            then begin
               let others_clean =
                 not
                   (List.exists
@@ -204,6 +232,7 @@ let analyze ~options ~scratch ~cfg (f : Ir.func) : analysis =
               then begin
                 detached.(c.var) <- true;
                 incr forest_detached;
+                oincr Obs.Forest_detaches;
                 (* c's children become node's children (Figure 2). *)
                 queue := c.children @ !queue;
                 node.children <-
@@ -212,6 +241,7 @@ let analyze ~options ~scratch ~cfg (f : Ir.func) : analysis =
               else begin
                 detached.(node.var) <- true;
                 incr forest_detached;
+                oincr Obs.Forest_detaches;
                 process_node c
               end;
               drain ()
@@ -220,7 +250,8 @@ let analyze ~options ~scratch ~cfg (f : Ir.func) : analysis =
               if Liveness.live_in_mem live c.block node.var || node.block = c.block
               then begin
                 local_pairs := (node.var, c) :: !local_pairs;
-                incr n_local_pairs
+                incr n_local_pairs;
+                oincr Obs.Local_pairs_deferred
               end;
               process_node c;
               drain ()
@@ -250,6 +281,7 @@ let analyze ~options ~scratch ~cfg (f : Ir.func) : analysis =
     (fun (pvar, (c : DF.node)) ->
       if (not detached.(pvar)) && not detached.(c.var) then begin
         let at = { Interference.block = c.block; index = c.def_index } in
+        oincr Obs.Local_interference_checks;
         let hit = Interference.live_just_after f live ~reg:pvar ~at in
         if dbg then
           Printf.eprintf "local %s vs %s(b%d,%d): %b\n" (Ir.reg_name f pvar)
@@ -264,7 +296,8 @@ let analyze ~options ~scratch ~cfg (f : Ir.func) : analysis =
             else pvar
           in
           detached.(victim) <- true;
-          incr local_detached
+          incr local_detached;
+          oincr Obs.Local_detaches
         end
       end)
     (List.rev !local_pairs);
@@ -283,6 +316,9 @@ let analyze ~options ~scratch ~cfg (f : Ir.func) : analysis =
         final_classes := attached :: !final_classes;
         List.iter (fun m -> rename.(m) <- leader) attached)
     groups;
+  oadd Obs.Forest_nodes_visited !total_forest_nodes;
+  oadd Obs.Congruence_classes !n_classes;
+  oadd Obs.Congruence_class_members !n_members;
   let memory =
     Liveness.memory_bytes live
     + (16 * f.nregs) (* union-find parent + rank *)
@@ -306,7 +342,7 @@ let analyze ~options ~scratch ~cfg (f : Ir.func) : analysis =
     a_memory = memory;
   }
 
-let rewrite ~cfg (f : Ir.func) (a : analysis) =
+let rewrite ~cfg ?obs (f : Ir.func) (a : analysis) =
   let rename r = a.rename.(r) in
   let rename_op = function
     | Ir.Reg r -> Ir.Reg (rename r)
@@ -347,7 +383,13 @@ let rewrite ~cfg (f : Ir.func) (a : analysis) =
                        single predecessor and the copy can sit at b's top. *)
                     assert (Cfg.preds cfg b.label = [ pl ]);
                     at_start.(b.label) <- move :: at_start.(b.label)
-                end)
+                end
+                else
+                  (* Coalescing made this φ-edge position a no-op — the
+                     copy the Standard route would have emitted. *)
+                  Option.iter
+                    (fun o -> Obs.incr o Obs.Copies_eliminated)
+                    obs)
               p.args)
           b.phis)
     f.blocks;
@@ -356,7 +398,7 @@ let rewrite ~cfg (f : Ir.func) (a : analysis) =
     match moves with
     | [] -> []
     | _ ->
-      let instrs = Ssa.Parallel_copy.sequentialize ~fresh (List.rev moves) in
+      let instrs = Ssa.Parallel_copy.sequentialize ?obs ~fresh (List.rev moves) in
       copies := !copies + List.length instrs;
       instrs
   in
@@ -375,17 +417,18 @@ let rewrite ~cfg (f : Ir.func) (a : analysis) =
       f.blocks
   in
   let params = List.map rename f.params in
+  Option.iter (fun o -> Obs.add o Obs.Copies_inserted !copies) obs;
   ( { f with params; blocks; nregs = !next; hints = !hints },
     !copies,
     !temps )
 
-let run ?(options = default_options) ?scratch (f : Ir.func) =
+let run ?(options = default_options) ?scratch ?obs (f : Ir.func) =
   let scratch =
     match scratch with Some s -> s | None -> Scratch.create ()
   in
-  let f, cfg = Ir.Edge_split.run_cfg f in
-  let a = analyze ~options ~scratch ~cfg f in
-  let f', copies, temps = rewrite ~cfg f a in
+  let f, cfg = Ir.Edge_split.run_cfg ?obs f in
+  let a = analyze ~options ~scratch ~cfg ?obs f in
+  let f', copies, temps = rewrite ~cfg ?obs f a in
   ( f',
     {
       classes = a.a_classes;
@@ -401,7 +444,7 @@ let run ?(options = default_options) ?scratch (f : Ir.func) =
       aux_memory_bytes = a.a_memory;
     } )
 
-let run_exn ?options ?scratch f = fst (run ?options ?scratch f)
+let run_exn ?options ?scratch ?obs f = fst (run ?options ?scratch ?obs f)
 
 let congruence_classes ?(options = default_options) (f : Ir.func) =
   let f, cfg = Ir.Edge_split.run_cfg f in

@@ -54,7 +54,12 @@ type stats = {
           forest nodes — the New column of Table 3's memory story *)
 }
 
-val run : ?options:options -> ?scratch:Support.Scratch.t -> Ir.func -> Ir.func * stats
+val run :
+  ?options:options ->
+  ?scratch:Support.Scratch.t ->
+  ?obs:Obs.t ->
+  Ir.func ->
+  Ir.func * stats
 (** [run f] destroys SSA with coalescing. [f] must be regular SSA (pass
     {!Ssa.Ssa_validate}); critical edges are split internally. The result
     has no φ-nodes.
@@ -64,9 +69,20 @@ val run : ?options:options -> ?scratch:Support.Scratch.t -> Ir.func -> Ir.func *
     (liveness vectors, dominator numberings, cost table) is acquired from —
     and released back to — that arena, so repeated calls on one domain stop
     re-allocating; results are identical either way. The arena must belong
-    to the calling domain. *)
+    to the calling domain.
 
-val run_exn : ?options:options -> ?scratch:Support.Scratch.t -> Ir.func -> Ir.func
+    When [obs] is given, every phase charges its operation counts to it:
+    the per-filter refusals, φ-args unioned, forest nodes and interference
+    checks, local-interference checks and detaches, surviving classes, and
+    the copies inserted/eliminated by the rewrite. The recorder never
+    changes the result. *)
+
+val run_exn :
+  ?options:options ->
+  ?scratch:Support.Scratch.t ->
+  ?obs:Obs.t ->
+  Ir.func ->
+  Ir.func
 
 val congruence_classes : ?options:options -> Ir.func -> Ir.reg list list
 (** The final classes (each with ≥ 2 members) that {!run} would merge —

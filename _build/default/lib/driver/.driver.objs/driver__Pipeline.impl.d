@@ -1,1 +1,1 @@
-lib/driver/pipeline.ml: Baseline Check Core Engine Format Frontend Ir List Printf Regalloc Ssa Support
+lib/driver/pipeline.ml: Baseline Check Core Engine Format Frontend Ir List Obs Option Printf Regalloc Ssa Support

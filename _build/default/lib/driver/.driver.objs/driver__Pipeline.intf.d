@@ -1,1 +1,1 @@
-lib/driver/pipeline.mli: Baseline Core Format Ir Ssa Support
+lib/driver/pipeline.mli: Baseline Core Format Ir Obs Ssa Support

@@ -35,16 +35,21 @@ type report = {
   stages : stage list;
 }
 
-let compile ?(config = default) ?(check = false) ?scratch (input : Ir.func) =
+let compile ?(config = default) ?(check = false) ?scratch ?obs
+    (input : Ir.func) =
   Ir.Validate.check_exn input;
+  let span name f =
+    match obs with Some o -> Obs.span o name f | None -> f ()
+  in
   let stages = ref [] in
   let record name func note =
     stages := { name; func; note } :: !stages;
     func
   in
   let ssa, cstats =
-    Ssa.Construct.run ~pruning:config.pruning ~fold_copies:config.fold_copies
-      input
+    span "construct" (fun () ->
+        Ssa.Construct.run ~pruning:config.pruning
+          ~fold_copies:config.fold_copies ?obs input)
   in
   Ssa.Ssa_validate.check_exn ssa;
   let cur =
@@ -55,7 +60,7 @@ let compile ?(config = default) ?(check = false) ?scratch (input : Ir.func) =
   let cur =
     if not config.simplify then cur
     else begin
-      let g, s = Ssa.Simplify.run cur in
+      let g, s = span "simplify" (fun () -> Ssa.Simplify.run cur) in
       Ssa.Ssa_validate.check_exn g;
       record "simplify" g
         (Printf.sprintf
@@ -66,7 +71,7 @@ let compile ?(config = default) ?(check = false) ?scratch (input : Ir.func) =
   let cur =
     if not config.dce then cur
     else begin
-      let g, s = Ssa.Dce.run cur in
+      let g, s = span "dce" (fun () -> Ssa.Dce.run cur) in
       Ssa.Ssa_validate.check_exn g;
       record "dce" g
         (Printf.sprintf "%d instructions and %d phis removed"
@@ -74,34 +79,44 @@ let compile ?(config = default) ?(check = false) ?scratch (input : Ir.func) =
     end
   in
   let pre_conversion = cur in
+  let oadd c n = Option.iter (fun o -> Obs.add o c n) obs in
   let cur =
-    match config.conversion with
-    | Standard ->
-      let g, s = Ssa.Destruct_naive.run (Ir.Edge_split.run cur) in
-      record "standard" g
-        (Printf.sprintf "%d copies inserted (%d cycle temps)"
-           s.copies_inserted s.temps_inserted)
-    | Coalescing options ->
-      let g, s = Core.Coalesce.run ~options ?scratch cur in
-      record "coalesce" g
-        (Printf.sprintf
-           "%d classes (%d members), %d copies inserted, %d filter refusals"
-           s.classes s.class_members s.copies_inserted s.filter_refusals)
-    | Sreedhar_i ->
-      let g, s = Baseline.Sreedhar.run cur in
-      record "sreedhar-i" g
-        (Printf.sprintf "%d copies inserted, %d names introduced"
-           s.copies_inserted s.names_introduced)
-    | Graph variant ->
-      let inst = Ssa.Destruct_naive.run_exn (Ir.Edge_split.run cur) in
-      let g, s = Baseline.Ig_coalesce.run ~variant inst in
-      record
-        (match variant with
-        | Baseline.Ig_coalesce.Briggs -> "briggs"
-        | Baseline.Ig_coalesce.Briggs_star -> "briggs*")
-        g
-        (Printf.sprintf "%d rounds, %d coalesced, %d copies remain"
-           s.rounds s.coalesced s.copies_remaining)
+    span "convert" (fun () ->
+        match config.conversion with
+        | Standard ->
+          let split = fst (Ir.Edge_split.run_cfg ?obs cur) in
+          let g, s = Ssa.Destruct_naive.run ?obs split in
+          record "standard" g
+            (Printf.sprintf "%d copies inserted (%d cycle temps)"
+               s.copies_inserted s.temps_inserted)
+        | Coalescing options ->
+          let g, s = Core.Coalesce.run ~options ?scratch ?obs cur in
+          record "coalesce" g
+            (Printf.sprintf
+               "%d classes (%d members), %d copies inserted, %d filter \
+                refusals"
+               s.classes s.class_members s.copies_inserted s.filter_refusals)
+        | Sreedhar_i ->
+          let g, s = Baseline.Sreedhar.run cur in
+          oadd Obs.Copies_inserted s.copies_inserted;
+          oadd Obs.Sreedhar_names_introduced s.names_introduced;
+          record "sreedhar-i" g
+            (Printf.sprintf "%d copies inserted, %d names introduced"
+               s.copies_inserted s.names_introduced)
+        | Graph variant ->
+          let split = fst (Ir.Edge_split.run_cfg ?obs cur) in
+          let inst = Ssa.Destruct_naive.run_exn ?obs split in
+          let g, s = Baseline.Ig_coalesce.run ~variant inst in
+          oadd Obs.Igraph_rounds s.rounds;
+          oadd Obs.Igraph_coalesced s.coalesced;
+          oadd Obs.Copies_eliminated s.coalesced;
+          record
+            (match variant with
+            | Baseline.Ig_coalesce.Briggs -> "briggs"
+            | Baseline.Ig_coalesce.Briggs_star -> "briggs*")
+            g
+            (Printf.sprintf "%d rounds, %d coalesced, %d copies remain"
+               s.rounds s.coalesced s.copies_remaining))
   in
   Ir.Validate.check_exn cur;
   let cur =
@@ -109,7 +124,10 @@ let compile ?(config = default) ?(check = false) ?scratch (input : Ir.func) =
     | None -> cur
     | Some k ->
       let r =
-        Regalloc.run ~options:{ Regalloc.default_options with registers = k } cur
+        span "regalloc" (fun () ->
+            Regalloc.run
+              ~options:{ Regalloc.default_options with registers = k }
+              cur)
       in
       record "regalloc" r.func
         (Printf.sprintf "%d colors, %d spilled ranges (%d loads, %d stores)"
@@ -117,19 +135,20 @@ let compile ?(config = default) ?(check = false) ?scratch (input : Ir.func) =
            r.stats.spill_stores)
   in
   Ir.Validate.check_exn cur;
-  if check then begin
-    (* Translation validation: the φ-free output must compute what the
-       input computed (spill memory is the allocator's private scratch),
-       and — for the paper's coalescer — the surviving congruence classes
-       must be interference-free under both independent oracles. *)
-    (match config.conversion with
-    | Coalescing options -> Check.interference_audit_exn ~options pre_conversion
-    | Standard | Graph _ | Sreedhar_i -> ());
-    let ignore_arrays =
-      if config.registers = None then [] else [ Regalloc.spill_array ]
-    in
-    Check.equiv_exn ~ignore_arrays ~reference:input cur
-  end;
+  if check then
+    span "check" (fun () ->
+        (* Translation validation: the φ-free output must compute what the
+           input computed (spill memory is the allocator's private scratch),
+           and — for the paper's coalescer — the surviving congruence classes
+           must be interference-free under both independent oracles. *)
+        (match config.conversion with
+        | Coalescing options ->
+          Check.interference_audit_exn ~options pre_conversion
+        | Standard | Graph _ | Sreedhar_i -> ());
+        let ignore_arrays =
+          if config.registers = None then [] else [ Regalloc.spill_array ]
+        in
+        Check.equiv_exn ~ignore_arrays ~reference:input cur);
   { input; output = cur; stages = List.rev !stages }
 
 let compile_source ?config ?check source =
@@ -138,10 +157,33 @@ let compile_source ?config ?check source =
 (* Batch compilation across domains: the per-function work is a pure
    function of the input (fresh arenas per domain, deterministic passes),
    so results are input-ordered and identical to sequential compilation. *)
-let compile_batch ?jobs ?config ?check (inputs : Ir.func list) =
-  Engine.map ?jobs
-    (fun f -> compile ?config ?check ~scratch:(Support.Scratch.domain ()) f)
-    inputs
+let compile_batch ?jobs ?config ?check ?obs (inputs : Ir.func list) =
+  match obs with
+  | None ->
+    Engine.map ?jobs
+      (fun f -> compile ?config ?check ~scratch:(Support.Scratch.domain ()) f)
+      inputs
+  | Some into ->
+    (* One private recorder per task (recorders are not thread-safe),
+       merged at the join in input order: totals are deterministic because
+       counter addition is commutative, and no domain ever contends on the
+       caller's recorder. *)
+    let results =
+      Engine.map ?jobs
+        (fun f ->
+          let o = Obs.create () in
+          let r =
+            compile ?config ?check ~scratch:(Support.Scratch.domain ()) ~obs:o
+              f
+          in
+          (r, o))
+        inputs
+    in
+    List.map
+      (fun (r, o) ->
+        Obs.merge ~into o;
+        r)
+      results
 
 let pp_report ppf r =
   Format.fprintf ppf "@[<v>";

@@ -46,7 +46,12 @@ type report = {
 }
 
 val compile :
-  ?config:config -> ?check:bool -> ?scratch:Support.Scratch.t -> Ir.func -> report
+  ?config:config ->
+  ?check:bool ->
+  ?scratch:Support.Scratch.t ->
+  ?obs:Obs.t ->
+  Ir.func ->
+  report
 (** Run the configured pipeline. The input must be a strict CFG function
     (e.g. from {!Frontend.Lower}); every intermediate stage is validated.
     With [check] (default [false]) the run is additionally
@@ -56,17 +61,29 @@ val compile :
     the surviving congruence classes pass {!Check.interference_audit};
     violations raise {!Check.Failed}. [scratch] is threaded to the
     coalescing conversion so batch drivers can reuse analysis buffers
-    across functions; it must belong to the calling domain. *)
+    across functions; it must belong to the calling domain.
+
+    [obs] collects the operation counters of every stage (the structured
+    counterpart of the [note] strings) plus per-phase timing spans
+    ([construct], [simplify], [dce], [convert], [regalloc], [check]); the
+    recorder never changes the compilation result. *)
 
 val compile_source : ?config:config -> ?check:bool -> string -> report list
 (** Parse mini-language source and compile every function in it. *)
 
 val compile_batch :
-  ?jobs:int -> ?config:config -> ?check:bool -> Ir.func list -> report list
+  ?jobs:int ->
+  ?config:config ->
+  ?check:bool ->
+  ?obs:Obs.t ->
+  Ir.func list ->
+  report list
 (** Compile a batch of functions in parallel on an {!Engine.Pool} of [jobs]
     domains (default {!Engine.default_jobs}), each domain reusing its own
     scratch arena across the functions it compiles. Reports come back in
-    input order and are identical to sequential {!compile} results. *)
+    input order and are identical to sequential {!compile} results. [obs]
+    aggregates without contention: each task records into a private
+    recorder, merged into [obs] at the join in input order. *)
 
 val pp_report : Format.formatter -> report -> unit
 (** The per-stage notes, one per line. *)

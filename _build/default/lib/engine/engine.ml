@@ -155,15 +155,35 @@ type compiled = {
   stats : Core.Coalesce.stats;
 }
 
-let compile_one ?options f =
+let compile_one ?options ?obs f =
   let scratch = Support.Scratch.domain () in
-  let ssa = Ssa.Construct.run_exn f in
-  let func, stats = Core.Coalesce.run ?options ~scratch ssa in
+  let ssa = Ssa.Construct.run_exn ?obs f in
+  let func, stats = Core.Coalesce.run ?options ~scratch ?obs ssa in
   { func; stats }
 
-let compile_batch_in pool ?options funcs =
-  Array.to_list
-    (Pool.map_array pool (compile_one ?options) (Array.of_list funcs))
+(* With a recorder: every task records into its own recorder (recorders are
+   not thread-safe), and the per-task recorders are merged into the caller's
+   at the join — in input order, so span ordering is deterministic too.
+   Counters are sums, so totals are independent of the scheduling. *)
+let compile_batch_in pool ?options ?obs funcs =
+  match obs with
+  | None ->
+    Array.to_list
+      (Pool.map_array pool (compile_one ?options) (Array.of_list funcs))
+  | Some into ->
+    let results =
+      Pool.map_array pool
+        (fun f ->
+          let o = Obs.create () in
+          (compile_one ?options ~obs:o f, o))
+        (Array.of_list funcs)
+    in
+    Array.to_list
+      (Array.map
+         (fun (r, o) ->
+           Obs.merge ~into o;
+           r)
+         results)
 
-let compile_batch ?jobs ?options funcs =
-  Pool.with_pool ?jobs (fun pool -> compile_batch_in pool ?options funcs)
+let compile_batch ?jobs ?options ?obs funcs =
+  Pool.with_pool ?jobs (fun pool -> compile_batch_in pool ?options ?obs funcs)

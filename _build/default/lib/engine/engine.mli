@@ -52,18 +52,31 @@ type compiled = {
   stats : Core.Coalesce.stats;
 }
 
-val compile_one : ?options:Core.Coalesce.options -> Ir.func -> compiled
+val compile_one :
+  ?options:Core.Coalesce.options -> ?obs:Obs.t -> Ir.func -> compiled
 (** SSA construction followed by {!Core.Coalesce.run} with the calling
     domain's scratch arena — the per-task work of {!compile_batch}. *)
 
 val compile_batch :
-  ?jobs:int -> ?options:Core.Coalesce.options -> Ir.func list -> compiled list
+  ?jobs:int ->
+  ?options:Core.Coalesce.options ->
+  ?obs:Obs.t ->
+  Ir.func list ->
+  compiled list
 (** Compile a batch of non-SSA functions through the New pipeline
     (SSA construction → coalescing destruction), in parallel across [jobs]
     domains. Results are in input order and byte-identical to compiling each
-    function sequentially. *)
+    function sequentially. When [obs] is given, each task records into its
+    own private recorder (recorders are not thread-safe) and the per-task
+    recorders are merged into [obs] at the join, in input order — so the
+    aggregated counters are deterministic and no task ever contends on the
+    caller's recorder. *)
 
 val compile_batch_in :
-  Pool.t -> ?options:Core.Coalesce.options -> Ir.func list -> compiled list
+  Pool.t ->
+  ?options:Core.Coalesce.options ->
+  ?obs:Obs.t ->
+  Ir.func list ->
+  compiled list
 (** Like {!compile_batch} but on an existing pool, so repeated batches (a
     JIT loop, the throughput benchmark) pay the domain-spawn cost once. *)

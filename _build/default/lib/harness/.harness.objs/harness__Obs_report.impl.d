@@ -1,0 +1,1 @@
+lib/harness/obs_report.ml: Baseline Core Driver List Obs Tables

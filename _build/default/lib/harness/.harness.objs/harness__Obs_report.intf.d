@@ -1,0 +1,1 @@
+lib/harness/obs_report.mli: Driver Format Ir Obs

@@ -1,0 +1,60 @@
+module Pipeline = Driver.Pipeline
+
+let default_routes =
+  [
+    ("standard", Pipeline.Standard);
+    ("new", Pipeline.Coalescing Core.Coalesce.default_options);
+    ("briggs*", Pipeline.Graph Baseline.Ig_coalesce.Briggs_star);
+    ("sreedhar-i", Pipeline.Sreedhar_i);
+  ]
+
+let collect ?jobs ?(routes = default_routes) funcs : Obs.report =
+  List.map
+    (fun (name, conversion) ->
+      let obs = Obs.create () in
+      let config = { Pipeline.default with conversion } in
+      ignore (Pipeline.compile_batch ?jobs ~config ~obs funcs);
+      (name, Obs.snapshot obs))
+    routes
+
+let print ?out (report : Obs.report) =
+  let header = "counter" :: List.map fst report in
+  let counter_keys =
+    match report with
+    | [] -> []
+    | (_, (s : Obs.Snapshot.t)) :: _ -> List.map fst s.counters
+  in
+  let cell (s : Obs.Snapshot.t) key =
+    match List.assoc_opt key s.counters with
+    | Some v -> string_of_int v
+    | None -> "-"
+  in
+  let rows =
+    List.map
+      (fun key -> key :: List.map (fun (_, s) -> cell s key) report)
+      counter_keys
+  in
+  Tables.print ?out ~title:"Operation counts per conversion route" ~header
+    rows;
+  (* Union of span names, preserving each route's first-seen order. *)
+  let span_keys =
+    List.fold_left
+      (fun acc (_, (s : Obs.Snapshot.t)) ->
+        List.fold_left
+          (fun acc (k, _) -> if List.mem k acc then acc else acc @ [ k ])
+          acc s.spans)
+      [] report
+  in
+  if span_keys <> [] then begin
+    let cell (s : Obs.Snapshot.t) key =
+      match List.assoc_opt key s.spans with
+      | Some v -> Tables.fmt_seconds v
+      | None -> "-"
+    in
+    let rows =
+      List.map
+        (fun key -> key :: List.map (fun (_, s) -> cell s key) report)
+        span_keys
+    in
+    Tables.print ?out ~title:"Phase times per conversion route" ~header rows
+  end

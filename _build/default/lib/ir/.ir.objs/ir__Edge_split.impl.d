@@ -1,1 +1,1 @@
-lib/ir/edge_split.ml: Array Cfg Hashtbl List Mir
+lib/ir/edge_split.ml: Array Cfg Hashtbl List Mir Obs Option

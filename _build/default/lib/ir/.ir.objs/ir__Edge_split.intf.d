@@ -1,1 +1,1 @@
-lib/ir/edge_split.mli: Cfg Mir
+lib/ir/edge_split.mli: Cfg Mir Obs

@@ -20,11 +20,14 @@ let critical_edges (f : Mir.func) = critical_edges_in (Cfg.of_func f) f
 
 let count_critical f = List.length (critical_edges f)
 
-let run_cfg ?cfg (f : Mir.func) =
+let run_cfg ?cfg ?obs (f : Mir.func) =
   let cfg = match cfg with Some c -> c | None -> Cfg.of_func f in
   match critical_edges_in cfg f with
   | [] -> (f, cfg)
   | edges ->
+    Option.iter
+      (fun o -> Obs.add o Obs.Critical_edges_split (List.length edges))
+      obs;
     let n = Mir.num_blocks f in
     (* Assign a fresh label per critical edge. *)
     let fresh = Hashtbl.create (List.length edges) in

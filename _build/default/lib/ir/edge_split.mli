@@ -16,8 +16,9 @@ val run : Mir.func -> Mir.func
 (** Insert a fresh jump-only block on every critical edge and retarget the
     corresponding φ-argument labels. Idempotent. *)
 
-val run_cfg : ?cfg:Cfg.t -> Mir.func -> Mir.func * Cfg.t
+val run_cfg : ?cfg:Cfg.t -> ?obs:Obs.t -> Mir.func -> Mir.func * Cfg.t
 (** Like {!run}, but also returns a CFG that is valid for the returned
     function, so downstream analyses need not rebuild it. When [cfg] (a CFG
     of the input) is supplied it is used to find the critical edges, and it
-    is returned as-is if no edge needed splitting. *)
+    is returned as-is if no edge needed splitting. [obs] charges the number
+    of split edges to [Obs.Critical_edges_split]. *)

@@ -1,0 +1,134 @@
+(** Pipeline observability: monotonic counters and timing spans.
+
+    The paper's evaluation (Tables 1–5) is a set of operation counts and
+    per-phase times; this module makes those first-class so tests can
+    assert on them instead of humans eyeballing a bench table. A
+    {!recorder} is a flat vector of counters (one slot per {!counter})
+    plus named timing spans; the passes accept an optional recorder and
+    charge their work to it.
+
+    Recorders are {e not} thread-safe: parallel drivers give every task
+    its own recorder and {!merge} them at the join (counter addition is
+    commutative, so totals are independent of scheduling). Counters are
+    deterministic for a fixed input; spans are wall-clock and are never
+    compared by the golden tests. *)
+
+type counter =
+  (* SSA construction *)
+  | Phis_inserted
+  | Copies_folded
+  (* liveness analysis *)
+  | Liveness_worklist_pops
+  (* critical-edge splitting *)
+  | Critical_edges_split
+  (* coalescer phase 1: optimistic union with the five filters *)
+  | Phi_args_unioned
+  | Filter_arg_live_into_block  (** filter 1: arg flows past the φ *)
+  | Filter_target_live_out  (** filter 2: target live out of arg's block *)
+  | Filter_phi_arg_live_in  (** filter 3: arg is a φ, target live into it *)
+  | Filter_sibling_phi  (** filter 4: arg already joined another φ here *)
+  | Filter_same_block_args  (** filter 5: two args defined in one block *)
+  | Const_phi_args
+  (* coalescer phase 2.5: rename invariant *)
+  | Rename_detaches
+  (* coalescer phase 3: dominance-forest walk *)
+  | Forest_nodes_visited
+  | Forest_interference_checks
+  | Forest_detaches
+  (* coalescer phase 4: local interferences *)
+  | Local_pairs_deferred
+  | Local_interference_checks
+  | Local_detaches
+  (* coalescer phase 5: surviving classes *)
+  | Congruence_classes
+  | Congruence_class_members
+  (* copy insertion (all conversion routes) *)
+  | Copies_inserted
+  | Copies_eliminated
+  | Parallel_copy_temps
+  (* interference-graph baseline *)
+  | Igraph_rounds
+  | Igraph_coalesced
+  (* Sreedhar Method I baseline *)
+  | Sreedhar_names_introduced
+
+val all_counters : counter list
+(** Every counter, in canonical emission order. *)
+
+val counter_name : counter -> string
+(** Stable snake_case identifier used in tables, JSON and golden files. *)
+
+type t
+(** A recorder. Owned by one domain at a time. *)
+
+val create : unit -> t
+(** Fresh recorder, all counters zero, no spans. *)
+
+val incr : t -> counter -> unit
+val add : t -> counter -> int -> unit
+val get : t -> counter -> int
+
+val span : t -> string -> (unit -> 'a) -> 'a
+(** [span t name f] runs [f], adding its wall-clock duration to the span
+    [name] (accumulating across calls). Re-raises [f]'s exceptions, still
+    charging the time spent. *)
+
+val add_span : t -> string -> float -> unit
+(** Add [seconds] to the named span directly. *)
+
+val merge : into:t -> t -> unit
+(** Add every counter and span of the source recorder into [into]. The
+    source is left untouched. *)
+
+val reset : t -> unit
+
+val counters : t -> (string * int) list
+(** The full counter vector, canonical order — every counter, including
+    zeros, so vectors from different runs always align. *)
+
+val spans : t -> (string * float) list
+(** Accumulated spans in first-recorded order. *)
+
+(** {1 Snapshots and multi-route reports} *)
+
+module Snapshot : sig
+  type t = {
+    counters : (string * int) list;  (** canonical order *)
+    spans : (string * float) list;
+  }
+end
+
+val snapshot : t -> Snapshot.t
+
+type report = (string * Snapshot.t) list
+(** One snapshot per conversion route, e.g.
+    [("standard", …); ("new", …); ("briggs*", …); ("sreedhar-i", …)]. *)
+
+val report_to_json : ?spans:bool -> report -> string
+(** Machine-readable emission (schema ["repro-obs/1"]). [spans] (default
+    [false]) includes the timing vector; golden files are written without
+    it because wall-clock never compares equal. *)
+
+val report_of_json : string -> report
+(** Parse {!report_to_json} output. Raises [Failure] with a position on
+    malformed input. *)
+
+(** {1 Golden comparison} *)
+
+type drift = {
+  route : string;
+  counter : string;
+  expected : int;
+  actual : int;
+  tolerance : float;  (** the relative tolerance that was applied *)
+}
+
+val compare_reports :
+  ?tolerances:(string * float) list -> expected:report -> report -> drift list
+(** Counter-by-counter comparison over the union of routes and counters
+    (a key missing on either side counts as 0). A counter passes when
+    [|actual - expected| <= tol * |expected|] with [tol] its declared
+    relative tolerance (default 0 = exact). Spans are ignored. The result
+    is empty iff the reports agree within tolerance. *)
+
+val pp_drift : Format.formatter -> drift -> unit

@@ -1,1 +1,1 @@
-lib/ssa/construct.ml: Analysis Array Hashtbl Imap Ir Iset List Option Printf Support
+lib/ssa/construct.ml: Analysis Array Hashtbl Imap Ir Iset List Obs Option Printf Support

@@ -1,1 +1,1 @@
-lib/ssa/construct.mli: Ir
+lib/ssa/construct.mli: Ir Obs

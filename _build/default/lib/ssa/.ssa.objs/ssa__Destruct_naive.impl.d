@@ -1,1 +1,1 @@
-lib/ssa/destruct_naive.ml: Array Ir List Parallel_copy Support
+lib/ssa/destruct_naive.ml: Array Ir List Obs Option Parallel_copy Support

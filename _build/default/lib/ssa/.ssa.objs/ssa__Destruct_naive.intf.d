@@ -1,1 +1,1 @@
-lib/ssa/destruct_naive.mli: Ir
+lib/ssa/destruct_naive.mli: Ir Obs

@@ -1,1 +1,1 @@
-lib/ssa/parallel_copy.ml: Hashtbl Ir List Printf
+lib/ssa/parallel_copy.ml: Hashtbl Ir List Obs Option Printf

@@ -1,1 +1,1 @@
-lib/ssa/parallel_copy.mli: Ir
+lib/ssa/parallel_copy.mli: Ir Obs

@@ -18,7 +18,7 @@ type proto_phi = {
   mutable filled : (Ir.label * Ir.operand) list;
 }
 
-let run ?(pruning = Pruned) ?(fold_copies = true) (f : Ir.func) =
+let run ?(pruning = Pruned) ?(fold_copies = true) ?obs (f : Ir.func) =
   let cfg = Cfg.of_func f in
   let dom = Dominance.compute f cfg in
   let n = Ir.num_blocks f in
@@ -61,7 +61,7 @@ let run ?(pruning = Pruned) ?(fold_copies = true) (f : Ir.func) =
         f.blocks;
       fun v _l -> nonlocal.(v)
     | Pruned ->
-      let live = Liveness.compute f cfg in
+      let live = Liveness.compute ?obs f cfg in
       fun v l -> Liveness.live_in_mem live l v
   in
   (* Iterated dominance frontier: standard worklist per variable. *)
@@ -197,6 +197,11 @@ let run ?(pruning = Pruned) ?(fold_copies = true) (f : Ir.func) =
       !pushed
   in
   rename f.entry;
+  Option.iter
+    (fun o ->
+      Obs.add o Obs.Phis_inserted !phis_inserted;
+      Obs.add o Obs.Copies_folded !copies_folded)
+    obs;
   let blocks =
     Array.init n (fun l ->
         let b = f.blocks.(l) in
@@ -226,4 +231,4 @@ let run ?(pruning = Pruned) ?(fold_copies = true) (f : Ir.func) =
     },
     { phis_inserted = !phis_inserted; copies_folded = !copies_folded } )
 
-let run_exn ?pruning ?fold_copies f = fst (run ?pruning ?fold_copies f)
+let run_exn ?pruning ?fold_copies ?obs f = fst (run ?pruning ?fold_copies ?obs f)

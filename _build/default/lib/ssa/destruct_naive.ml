@@ -5,7 +5,7 @@ type stats = {
   temps_inserted : int;
 }
 
-let run (f : Ir.func) =
+let run ?obs (f : Ir.func) =
   let cfg = Cfg.of_func f in
   let next = ref f.nregs in
   let hints = ref f.hints in
@@ -49,14 +49,15 @@ let run (f : Ir.func) =
           match waiting.(b.label) with
           | [] -> []
           | moves ->
-            let seq = Parallel_copy.sequentialize ~fresh (List.rev moves) in
+            let seq = Parallel_copy.sequentialize ?obs ~fresh (List.rev moves) in
             copies := !copies + List.length seq;
             seq
         in
         { b with phis = []; body = b.body @ inserted })
       f.blocks
   in
+  Option.iter (fun o -> Obs.add o Obs.Copies_inserted !copies) obs;
   ( { f with blocks; nregs = !next; hints = !hints },
     { copies_inserted = !copies; temps_inserted = !temps } )
 
-let run_exn f = fst (run f)
+let run_exn ?obs f = fst (run ?obs f)

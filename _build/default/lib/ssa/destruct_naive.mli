@@ -13,8 +13,10 @@ type stats = {
   temps_inserted : int;
 }
 
-val run : Ir.func -> Ir.func * stats
+val run : ?obs:Obs.t -> Ir.func -> Ir.func * stats
 (** Remove all φ-nodes. Raises [Invalid_argument] if the function still has
-    critical edges carrying φ arguments. *)
+    critical edges carrying φ arguments. [obs] charges the inserted copies
+    (including cycle-breaking ones) to [Obs.Copies_inserted] and the minted
+    temporaries to [Obs.Parallel_copy_temps]. *)
 
-val run_exn : Ir.func -> Ir.func
+val run_exn : ?obs:Obs.t -> Ir.func -> Ir.func

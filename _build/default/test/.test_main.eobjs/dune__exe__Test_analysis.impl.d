@@ -1,1 +1,1 @@
-test/test_analysis.ml: Alcotest Analysis Array Frontend Fun Helpers Ir List QCheck QCheck_alcotest Ssa Support
+test/test_analysis.ml: Alcotest Analysis Array Frontend Fun Helpers Ir List Obs QCheck QCheck_alcotest Ssa Support

@@ -1,0 +1,1 @@
+test/test_obs.ml: Alcotest Driver Engine Helpers Ir List Obs

@@ -1,1 +1,1 @@
-test/test_parallel_copy.ml: Alcotest Array Fun Gen Hashtbl Helpers Ir List QCheck QCheck_alcotest Ssa
+test/test_parallel_copy.ml: Alcotest Array Fun Gen Hashtbl Helpers Ir List Obs QCheck QCheck_alcotest Ssa

@@ -131,6 +131,36 @@ let prop_liveness =
           else true)
         (List.init (Ir.num_blocks f) Fun.id))
 
+(* Property: the worklist solver agrees with the naive round-robin fixpoint
+   on SSA'd generated programs — unlike [prop_liveness]'s raw random CFGs,
+   these carry φ-nodes, so the edge-based φ-argument charging (arguments in
+   the predecessor's live-out, targets killed at the block top) is compared
+   against the oracle too. The worklist-pop count goes to the recorder, and
+   must be at least one pop per reachable block. *)
+let prop_liveness_worklist_vs_round_robin =
+  QCheck.Test.make ~count:80 ~name:"worklist vs round-robin liveness on SSA"
+    QCheck.(pair (int_bound 10_000) (int_range 10 60))
+    (fun (seed, size) ->
+      let f = random_program seed size in
+      let ssa = Ssa.Construct.run_exn f in
+      let cfg = Ir.Cfg.of_func ssa in
+      let obs = Obs.create () in
+      let live = Analysis.Liveness.compute ~obs ssa cfg in
+      let in_ref, out_ref = naive_liveness ssa in
+      let reachable =
+        List.filter
+          (Ir.Cfg.reachable cfg)
+          (List.init (Ir.num_blocks ssa) Fun.id)
+      in
+      Obs.get obs Obs.Liveness_worklist_pops >= List.length reachable
+      && List.for_all
+           (fun l ->
+             Support.Bitset.elements (Analysis.Liveness.live_in live l)
+             = in_ref.(l)
+             && Support.Bitset.elements (Analysis.Liveness.live_out live l)
+                = out_ref.(l))
+           reachable)
+
 (* Property: the dataflow liveness and the SSA use-chain liveness agree on
    regular SSA programs — two independent implementations, one answer. *)
 let prop_liveness_implementations_agree =
@@ -254,6 +284,7 @@ let suite =
     Alcotest.test_case "liveness on a loop" `Quick test_liveness_loop;
     Alcotest.test_case "liveness is phi-aware" `Quick test_liveness_phi_aware;
     QCheck_alcotest.to_alcotest prop_liveness;
+    QCheck_alcotest.to_alcotest prop_liveness_worklist_vs_round_robin;
     QCheck_alcotest.to_alcotest prop_liveness_implementations_agree;
     QCheck_alcotest.to_alcotest prop_dominance_frontier;
     QCheck_alcotest.to_alcotest prop_loop_depth_sanity;

@@ -102,6 +102,59 @@ let prop_forest_definition =
       List.sort compare !got = expected
       && Core.Dominance_forest.size forest = List.length members)
 
+(* Property: the Definition-3.1 numbering invariants. With at most one
+   member per block, every forest edge (parent, child) has the parent's
+   block strictly dominating the child's, which in preorder-interval terms
+   is preorder(parent) < preorder(child) <= max_preorder(parent); and
+   sibling subtrees (including the roots of separate trees) are pairwise
+   dominance-incomparable — that is what makes the forest walk sound. *)
+let prop_forest_preorder_invariants =
+  QCheck.Test.make ~count:150
+    ~name:"forest: preorder intervals nest along edges, siblings incomparable"
+    QCheck.small_nat
+    (fun seed ->
+      let rand = make_rand (seed + 17) in
+      let f = random_cfg rand ~blocks:10 ~regs:3 in
+      let cfg = Ir.Cfg.of_func f in
+      let dom = Analysis.Dominance.compute f cfg in
+      (* ≤ 1 member per reachable block, so edges never stay inside a
+         block and the preorder inequality is strict. *)
+      let members =
+        List.filter_map
+          (fun l ->
+            if Ir.Cfg.reachable cfg l && rand 3 > 0 then Some (100 + l, l, 0)
+            else None)
+          (List.init (Ir.num_blocks f) Fun.id)
+      in
+      let forest = Core.Dominance_forest.build dom members in
+      let ok = ref true in
+      Core.Dominance_forest.iter_edges forest (fun p c ->
+          let pb = p.Core.Dominance_forest.block
+          and cb = c.Core.Dominance_forest.block in
+          if
+            not
+              (Analysis.Dominance.preorder dom pb
+               < Analysis.Dominance.preorder dom cb
+              && Analysis.Dominance.preorder dom cb
+                 <= Analysis.Dominance.max_preorder dom pb)
+          then ok := false);
+      let incomparable (a : Core.Dominance_forest.node)
+          (b : Core.Dominance_forest.node) =
+        (not (Analysis.Dominance.dominates dom a.block b.block))
+        && not (Analysis.Dominance.dominates dom b.block a.block)
+      in
+      let rec check_siblings (nodes : Core.Dominance_forest.node list) =
+        List.iteri
+          (fun i a ->
+            List.iteri
+              (fun j b -> if i < j && not (incomparable a b) then ok := false)
+              nodes)
+          nodes;
+        List.iter (fun (n : Core.Dominance_forest.node) -> check_siblings n.children) nodes
+      in
+      check_siblings forest;
+      !ok)
+
 let test_interference_straight_line () =
   let f = straight_line () in
   let cfg = Ir.Cfg.of_func f in
@@ -192,6 +245,7 @@ let suite =
     Alcotest.test_case "forest: collapses paths" `Quick test_forest_collapses_paths;
     Alcotest.test_case "forest: same-block chaining" `Quick test_forest_same_block;
     QCheck_alcotest.to_alcotest prop_forest_definition;
+    QCheck_alcotest.to_alcotest prop_forest_preorder_invariants;
     Alcotest.test_case "interference: straight line" `Quick
       test_interference_straight_line;
     Alcotest.test_case "interference: overlap" `Quick test_interference_overlap;

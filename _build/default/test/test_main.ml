@@ -25,4 +25,5 @@ let () =
       ("check", Test_check.suite);
       ("harness", Test_harness.suite);
       ("engine", Test_engine.suite);
+      ("obs", Test_obs.suite);
     ]

@@ -211,6 +211,96 @@ let prop_random_parallel_copy =
       let want = run_parallel env moves in
       env_equal got want ~on:regs)
 
+(* Property: a move set assembled from known pieces — disjoint register
+   cycles (length ≥ 2), a chain hanging off them, and constant writes —
+   sequentializes to the parallel semantics, uses exactly one temporary per
+   cycle (each cycle needs one, and one always suffices), and agrees with
+   [needs_temp]. The Obs recorder must see the same temp count. *)
+let prop_cycles_use_one_temp_each =
+  QCheck.Test.make ~count:300 ~name:"one temp per cycle, counted by Obs"
+    QCheck.(triple (int_bound 2) (list_of_size Gen.(0 -- 3) (int_range 2 4)) (int_bound 1000))
+    (fun (nconsts, cycle_lens, seed) ->
+      (* QCheck's shrinker for int_range can step below the range; a
+         "cycle" needs at least two registers to be one. *)
+      let cycle_lens = List.filter (fun l -> l >= 2) cycle_lens in
+      let rand = make_rand (seed + 7) in
+      let next_reg = ref 0 in
+      let reg () =
+        let r = !next_reg in
+        incr next_reg;
+        r
+      in
+      (* Disjoint cycles over fresh registers: r0 <- r1 <- ... <- r0. *)
+      let cycles =
+        List.map (fun len -> Array.init len (fun _ -> reg ())) cycle_lens
+      in
+      let cycle_moves =
+        List.concat_map
+          (fun regs ->
+            let len = Array.length regs in
+            List.init len (fun i ->
+                {
+                  Ssa.Parallel_copy.dst = regs.(i);
+                  src = Ir.Reg regs.((i + 1) mod len);
+                }))
+          cycles
+      in
+      (* A short chain reading out of a cycle (or standalone): fresh dsts
+         only, so no new cycle can form. *)
+      let chain_moves =
+        if !next_reg = 0 then []
+        else
+          List.init (rand 3) (fun _ ->
+              let src = rand !next_reg in
+              { Ssa.Parallel_copy.dst = reg (); src = Ir.Reg src })
+      in
+      let const_moves =
+        List.init nconsts (fun i ->
+            { Ssa.Parallel_copy.dst = reg (); src = Ir.Const (Ir.Int (500 + i)) })
+      in
+      let moves = cycle_moves @ chain_moves @ const_moves in
+      let regs = List.init !next_reg Fun.id in
+      let env = env_of_list (List.map (fun r -> (r, 700 + r)) regs) in
+      let temp_base = 1000 in
+      let obs = Obs.create () in
+      let instrs =
+        Ssa.Parallel_copy.sequentialize ~obs ~fresh:(fresh_from temp_base)
+          moves
+      in
+      let got = run_copies env instrs in
+      let want = run_parallel env moves in
+      let temps =
+        List.sort_uniq compare
+          (List.filter_map
+             (function
+               | Ir.Copy { dst; _ } when dst >= temp_base -> Some dst
+               | _ -> None)
+             instrs)
+      in
+      let ncycles = List.length cycles in
+      (* A cycle read by a chain move needs no fresh temp: emitting the
+         chain copy saves one cycle value and frees its register, so the
+         cycle drains through it. Only unread cycles cost a temporary. *)
+      let chain_srcs =
+        List.filter_map
+          (fun m ->
+            match m.Ssa.Parallel_copy.src with
+            | Ir.Reg r -> Some r
+            | Ir.Const _ -> None)
+          chain_moves
+      in
+      let expected_temps =
+        List.length
+          (List.filter
+             (fun regs ->
+               not (Array.exists (fun r -> List.mem r chain_srcs) regs))
+             cycles)
+      in
+      env_equal got want ~on:regs
+      && List.length temps = expected_temps
+      && Ssa.Parallel_copy.needs_temp moves = (ncycles > 0)
+      && Obs.get obs Obs.Parallel_copy_temps = expected_temps)
+
 let suite =
   [
     Alcotest.test_case "chain ordering" `Quick test_simple_chain;
@@ -229,4 +319,5 @@ let suite =
     Alcotest.test_case "long chain memoization" `Quick test_long_chain_memoized;
     QCheck_alcotest.to_alcotest prop_random_permutation;
     QCheck_alcotest.to_alcotest prop_random_parallel_copy;
+    QCheck_alcotest.to_alcotest prop_cycles_use_one_temp_each;
   ]

@@ -23,10 +23,13 @@ type stats = {
 }
 
 val run :
-  ?pruning:pruning -> ?fold_copies:bool -> Ir.func -> Ir.func * stats
+  ?pruning:pruning -> ?fold_copies:bool -> ?obs:Obs.t -> Ir.func ->
+  Ir.func * stats
 (** Convert a strict function to SSA form. Default [pruning] is [Pruned],
     default [fold_copies] is [true]. The input must pass
-    {!Ir.Validate.run}. *)
+    {!Ir.Validate.run}. [obs] charges [Obs.Phis_inserted] and
+    [Obs.Copies_folded] (and the pruning liveness pass, when run). *)
 
-val run_exn : ?pruning:pruning -> ?fold_copies:bool -> Ir.func -> Ir.func
+val run_exn :
+  ?pruning:pruning -> ?fold_copies:bool -> ?obs:Obs.t -> Ir.func -> Ir.func
 (** {!run} without the statistics. *)

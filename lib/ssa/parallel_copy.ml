@@ -16,7 +16,11 @@ let check_distinct moves =
       Hashtbl.add seen m.dst ())
     moves
 
-let sequentialize ~(fresh : ?name:string -> unit -> Ir.reg) moves =
+let sequentialize ?obs ~(fresh : ?name:string -> unit -> Ir.reg) moves =
+  let fresh ?name () =
+    Option.iter (fun o -> Obs.incr o Obs.Parallel_copy_temps) obs;
+    fresh ?name ()
+  in
   let moves = real_moves moves in
   check_distinct moves;
   let pred : (Ir.reg, Ir.operand) Hashtbl.t = Hashtbl.create 8 in
