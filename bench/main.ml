@@ -5,7 +5,7 @@
    byte-accurate models of the distinguishing data structures.
 
    Usage: main.exe [table1|table2|table3|table4|table5|scaling|ablation|
-                    throughput|all]
+                    destruction|passes|regalloc|throughput|metrics|all]
           main.exe --fast ...     (shorter Bechamel quotas, noisier numbers)
           main.exe --json ...     (also write BENCH_1.json: per-table wall
                                    times + throughput, machine-readable)
@@ -485,6 +485,51 @@ let destruction () =
     @ [ "TOTAL" :: Array.to_list (Array.map string_of_int tot) ])
 
 (* ------------------------------------------------------------------ *)
+(* Extension: pass-manager pipelines — what the optimizing SSA passes
+   feed the coalescer. Copy-prop/simplify/dce ahead of the conversion
+   should never increase the copies the coalescer inserts, and the
+   table shows what each ordering costs in compile time.                *)
+(* ------------------------------------------------------------------ *)
+
+let pass_pipelines () =
+  let specs =
+    [
+      "construct:pruned,coalesce";
+      "construct:pruned,copy-prop,coalesce";
+      "construct:pruned,copy-prop,simplify,dce,coalesce";
+      "construct:pruned+nofold,copy-prop,coalesce";
+      "construct:minimal,copy-prop,dce,coalesce";
+    ]
+  in
+  let rows =
+    List.map
+      (fun spec ->
+        let copies = ref 0 in
+        let time = ref 0.0 in
+        List.iter
+          (fun (e : Workloads.Suite.entry) ->
+            let r = P.compile_spec spec e.func in
+            let reference = Interp.run ~args:e.args e.func in
+            if not (Interp.equivalent reference (Interp.run ~args:e.args r.output))
+            then failwith ("pipeline " ^ spec ^ " broke " ^ e.name);
+            copies := !copies + Ir.count_copies r.output;
+            time :=
+              !time
+              +. M.seconds ~quota_s:(!quota /. 2.)
+                   ~name:(e.name ^ "/" ^ spec)
+                   (fun () -> P.compile_spec spec e.func))
+          (kernels ());
+        [ spec; string_of_int !copies; T.fmt_seconds !time ])
+      specs
+  in
+  T.print
+    ~title:
+      "Pass-manager pipelines (totals over the whole suite; specs as \
+       accepted by repro-cli opt --passes)"
+    ~header:[ "pipeline"; "static copies"; "total time" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
 (* Extension: downstream effect on register allocation — the "future
    work" consumer the paper names. Allocating after the New coalescer
    should match allocating after the graph coalescer, and both should
@@ -601,13 +646,14 @@ let () =
     | "ablation" -> timed name ablation
     | "regalloc" -> timed name regalloc_study
     | "destruction" -> timed name destruction
+    | "passes" -> timed name pass_pipelines
     | "throughput" -> timed name throughput
     | "metrics" -> timed name metrics
     | "all" ->
       List.iter run
         [
           "table1"; "table2"; "table3"; "table4"; "scaling"; "ablation";
-          "destruction"; "regalloc"; "throughput"; "metrics";
+          "destruction"; "passes"; "regalloc"; "throughput"; "metrics";
         ]
     | other ->
       Printf.eprintf "unknown target %S\n" other;

@@ -214,6 +214,19 @@ let alloc_cmd =
 
 let opt_cmd =
   let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let passes =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "passes" ]
+          ~doc:
+            "Run an explicit pass pipeline instead of the flag-derived one: \
+             a comma-separated spec such as \
+             $(b,construct:pruned,copy-prop,simplify,dce,coalesce). Overrides \
+             --simplify/--dce/--via/--registers. An unknown pass name exits \
+             with code 2 and lists the registered passes."
+          ~docv:"SPEC")
+  in
   let simplify = Arg.(value & flag & info [ "simplify" ] ~doc:"Run Ssa.Simplify.") in
   let dce = Arg.(value & flag & info [ "dce" ] ~doc:"Run Ssa.Dce.") in
   let k =
@@ -257,17 +270,28 @@ let opt_cmd =
              output on Check.equiv's argument battery and audit the \
              coalescer's congruence classes for interference.")
   in
-  let run path simplify dce registers conversion jobs check =
-    let config =
-      { Driver.Pipeline.default with simplify; dce; registers; conversion }
+  let run path passes simplify dce registers conversion jobs check =
+    let pipeline =
+      match passes with
+      | Some spec -> (
+        (* Bad specs are input errors (exit 2), same contract as a file
+           that does not parse. *)
+        match Pass.Spec.parse spec with
+        | Ok pipeline -> pipeline
+        | Error msg -> raise (Input_error msg))
+      | None ->
+        Driver.Pipeline.passes_of_config
+          { Driver.Pipeline.default with simplify; dce; registers; conversion }
     in
     let funcs = load path in
     let reports =
       if jobs = 1 then
-        List.map (fun f -> Driver.Pipeline.compile ~config ~check f) funcs
+        List.map
+          (fun f -> Driver.Pipeline.compile_passes ~check pipeline f)
+          funcs
       else
         let jobs = if jobs = 0 then Engine.default_jobs () else jobs in
-        Driver.Pipeline.compile_batch ~jobs ~config ~check funcs
+        Driver.Pipeline.compile_batch_passes ~jobs ~check pipeline funcs
     in
     List.iter2
       (fun f (r : Driver.Pipeline.report) ->
@@ -278,7 +302,9 @@ let opt_cmd =
   in
   Cmd.v
     (Cmd.info "opt" ~doc:"Run the whole configurable backend pipeline")
-    Term.(const run $ path $ simplify $ dce $ k $ conversion $ jobs $ check)
+    Term.(
+      const run $ path $ passes $ simplify $ dce $ k $ conversion $ jobs
+      $ check)
 
 let dot_cmd =
   let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
@@ -498,23 +524,39 @@ let report_cmd =
           conversion route (the paper's Tables 1-5 vectors)")
     Term.(const run $ path $ json $ jobs)
 
+let subcommands =
+  [
+    dump_cmd; run_cmd; compare_cmd; alloc_cmd; opt_cmd; dot_cmd; fuzz_cmd;
+    report_cmd;
+  ]
+
+(* An unknown subcommand is an input error like any other: exit 2 with a
+   "did you mean" hint, not cmdliner's generic usage error (124). *)
+let check_subcommand () =
+  match Array.to_list Sys.argv with
+  | _ :: name :: _
+    when String.length name > 0
+         && name.[0] <> '-'
+         && not (List.exists (fun c -> Cmd.name c = name) subcommands) ->
+    let names = List.map Cmd.name subcommands in
+    let hint =
+      match Pass.Registry.suggest name ~candidates:names with
+      | Some c -> Printf.sprintf " — did you mean '%s'?" c
+      | None -> ""
+    in
+    raise
+      (Input_error
+         (Printf.sprintf "unknown command '%s'%s (commands: %s)" name hint
+            (String.concat ", " names)))
+  | _ -> ()
+
 let () =
   let doc = "fast copy coalescing and live-range identification (PLDI 2002)" in
   let code =
     try
+      check_subcommand ();
       Cmd.eval' ~catch:false
-        (Cmd.group
-           (Cmd.info "repro-cli" ~doc)
-           [
-             dump_cmd;
-             run_cmd;
-             compare_cmd;
-             alloc_cmd;
-             opt_cmd;
-             dot_cmd;
-             fuzz_cmd;
-             report_cmd;
-           ])
+        (Cmd.group (Cmd.info "repro-cli" ~doc) subcommands)
     with
     | Input_error msg ->
       Printf.eprintf "repro-cli: %s\n" msg;

@@ -23,145 +23,55 @@ let default =
     registers = None;
   }
 
-type stage = {
+type stage = Pass.stage = {
   name : string;
   func : Ir.func;
   note : string;
 }
 
-type report = {
+type report = Pass.report = {
   input : Ir.func;
   output : Ir.func;
   stages : stage list;
 }
 
-let compile ?(config = default) ?(check = false) ?scratch ?obs
-    (input : Ir.func) =
-  Ir.Validate.check_exn input;
-  let span name f =
-    match obs with Some o -> Obs.span o name f | None -> f ()
-  in
-  let stages = ref [] in
-  let record name func note =
-    stages := { name; func; note } :: !stages;
-    func
-  in
-  let ssa, cstats =
-    span "construct" (fun () ->
-        Ssa.Construct.run ~pruning:config.pruning
-          ~fold_copies:config.fold_copies ?obs input)
-  in
-  Ssa.Ssa_validate.check_exn ssa;
-  let cur =
-    record "ssa" ssa
-      (Printf.sprintf "%d phis inserted, %d copies folded"
-         cstats.phis_inserted cstats.copies_folded)
-  in
-  let cur =
-    if not config.simplify then cur
-    else begin
-      let g, s = span "simplify" (fun () -> Ssa.Simplify.run cur) in
-      Ssa.Ssa_validate.check_exn g;
-      record "simplify" g
-        (Printf.sprintf
-           "%d folded, %d identities, %d copies propagated, %d phis collapsed"
-           s.folded s.identities s.copies_propagated s.phis_collapsed)
-    end
-  in
-  let cur =
-    if not config.dce then cur
-    else begin
-      let g, s = span "dce" (fun () -> Ssa.Dce.run cur) in
-      Ssa.Ssa_validate.check_exn g;
-      record "dce" g
-        (Printf.sprintf "%d instructions and %d phis removed"
-           s.removed_instrs s.removed_phis)
-    end
-  in
-  let pre_conversion = cur in
-  let oadd c n = Option.iter (fun o -> Obs.add o c n) obs in
-  let cur =
-    span "convert" (fun () ->
-        match config.conversion with
-        | Standard ->
-          let split = fst (Ir.Edge_split.run_cfg ?obs cur) in
-          let g, s = Ssa.Destruct_naive.run ?obs split in
-          record "standard" g
-            (Printf.sprintf "%d copies inserted (%d cycle temps)"
-               s.copies_inserted s.temps_inserted)
-        | Coalescing options ->
-          let g, s = Core.Coalesce.run ~options ?scratch ?obs cur in
-          record "coalesce" g
-            (Printf.sprintf
-               "%d classes (%d members), %d copies inserted, %d filter \
-                refusals"
-               s.classes s.class_members s.copies_inserted s.filter_refusals)
-        | Sreedhar_i ->
-          let g, s = Baseline.Sreedhar.run cur in
-          oadd Obs.Copies_inserted s.copies_inserted;
-          oadd Obs.Sreedhar_names_introduced s.names_introduced;
-          record "sreedhar-i" g
-            (Printf.sprintf "%d copies inserted, %d names introduced"
-               s.copies_inserted s.names_introduced)
-        | Graph variant ->
-          let split = fst (Ir.Edge_split.run_cfg ?obs cur) in
-          let inst = Ssa.Destruct_naive.run_exn ?obs split in
-          let g, s = Baseline.Ig_coalesce.run ~variant inst in
-          oadd Obs.Igraph_rounds s.rounds;
-          oadd Obs.Igraph_coalesced s.coalesced;
-          oadd Obs.Copies_eliminated s.coalesced;
-          record
-            (match variant with
-            | Baseline.Ig_coalesce.Briggs -> "briggs"
-            | Baseline.Ig_coalesce.Briggs_star -> "briggs*")
-            g
-            (Printf.sprintf "%d rounds, %d coalesced, %d copies remain"
-               s.rounds s.coalesced s.copies_remaining))
-  in
-  Ir.Validate.check_exn cur;
-  let cur =
-    match config.registers with
-    | None -> cur
-    | Some k ->
-      let r =
-        span "regalloc" (fun () ->
-            Regalloc.run
-              ~options:{ Regalloc.default_options with registers = k }
-              cur)
-      in
-      record "regalloc" r.func
-        (Printf.sprintf "%d colors, %d spilled ranges (%d loads, %d stores)"
-           r.stats.colors_used r.stats.spilled_ranges r.stats.spill_loads
-           r.stats.spill_stores)
-  in
-  Ir.Validate.check_exn cur;
-  if check then
-    span "check" (fun () ->
-        (* Translation validation: the φ-free output must compute what the
-           input computed (spill memory is the allocator's private scratch),
-           and — for the paper's coalescer — the surviving congruence classes
-           must be interference-free under both independent oracles. *)
-        (match config.conversion with
-        | Coalescing options ->
-          Check.interference_audit_exn ~options pre_conversion
-        | Standard | Graph _ | Sreedhar_i -> ());
-        let ignore_arrays =
-          if config.registers = None then [] else [ Regalloc.spill_array ]
-        in
-        Check.equiv_exn ~ignore_arrays ~reference:input cur);
-  { input; output = cur; stages = List.rev !stages }
+(* The closed config record is now a compatibility shim: it compiles to a
+   pass pipeline and everything downstream is the generic pass manager. *)
+let passes_of_config (c : config) : Pass.Pipeline.t =
+  (Pass.construct ~pruning:c.pruning ~fold_copies:c.fold_copies ()
+   :: (if c.simplify then [ Pass.simplify ] else []))
+  @ (if c.dce then [ Pass.dce ] else [])
+  @ [
+      (match c.conversion with
+      | Standard -> Pass.standard
+      | Coalescing options -> Pass.coalesce ~options ()
+      | Graph variant -> Pass.graph variant
+      | Sreedhar_i -> Pass.sreedhar_i);
+    ]
+  @ match c.registers with
+    | None -> []
+    | Some k -> [ Pass.regalloc ~registers:k ]
+
+let compile_passes ?check ?scratch ?obs passes input =
+  Pass.run ?check ?scratch ?obs passes input
+
+let compile ?(config = default) ?check ?scratch ?obs (input : Ir.func) =
+  compile_passes ?check ?scratch ?obs (passes_of_config config) input
 
 let compile_source ?config ?check source =
   List.map (fun f -> compile ?config ?check f) (Frontend.Lower.compile source)
 
 (* Batch compilation across domains: the per-function work is a pure
    function of the input (fresh arenas per domain, deterministic passes),
-   so results are input-ordered and identical to sequential compilation. *)
-let compile_batch ?jobs ?config ?check ?obs (inputs : Ir.func list) =
+   so results are input-ordered and identical to sequential compilation.
+   Pass values are immutable closures over their options, safe to share
+   across the pool's domains. *)
+let compile_batch_passes ?jobs ?check ?obs passes (inputs : Ir.func list) =
   match obs with
   | None ->
     Engine.map ?jobs
-      (fun f -> compile ?config ?check ~scratch:(Support.Scratch.domain ()) f)
+      (fun f ->
+        compile_passes ?check ~scratch:(Support.Scratch.domain ()) passes f)
       inputs
   | Some into ->
     (* One private recorder per task (recorders are not thread-safe),
@@ -173,8 +83,8 @@ let compile_batch ?jobs ?config ?check ?obs (inputs : Ir.func list) =
         (fun f ->
           let o = Obs.create () in
           let r =
-            compile ?config ?check ~scratch:(Support.Scratch.domain ()) ~obs:o
-              f
+            compile_passes ?check ~scratch:(Support.Scratch.domain ()) ~obs:o
+              passes f
           in
           (r, o))
         inputs
@@ -184,6 +94,9 @@ let compile_batch ?jobs ?config ?check ?obs (inputs : Ir.func list) =
         Obs.merge ~into o;
         r)
       results
+
+let compile_batch ?jobs ?(config = default) ?check ?obs inputs =
+  compile_batch_passes ?jobs ?check ?obs (passes_of_config config) inputs
 
 let pp_report ppf r =
   Format.fprintf ppf "@[<v>";

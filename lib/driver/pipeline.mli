@@ -1,16 +1,24 @@
 (** The whole backend as one configurable pipeline:
 
     {v
-    source ──lower──► CFG ──SSA──► [simplify] ─► [dce] ─► conversion
-                                                            │
-                  executable CFG ◄── [register allocation] ◄┘
+    source ──lower──► CFG ──SSA──► [transforms…] ─► conversion
+                                                      │
+                  executable CFG ◄── [finishers…] ◄───┘
     v}
 
     where {e conversion} is any of the paper's four SSA-to-CFG routes.
     This is the deployment story of the paper's introduction — a JIT-style
     backend where the graph-free coalescer replaces both the separate
     coalescing phase and the φ-instantiation — packaged so examples, the
-    CLI and differential tests drive every combination through one door. *)
+    CLI and differential tests drive every combination through one door.
+
+    Since the pass-manager refactor the door is {!Pass}: a pipeline is a
+    shape-checked [Pass.t list] and {!compile_passes} runs it under the
+    generic middleware (obs spans, structural validation, stage capture,
+    deferred [--check] hooks). The {!config} record survives as a thin
+    compatibility shim — {!passes_of_config} compiles it to a pipeline —
+    so existing callers and the historical boolean matrix keep working
+    unchanged. *)
 
 type conversion =
   | Standard  (** naive φ-instantiation, no coalescing *)
@@ -33,13 +41,19 @@ val default : config
 (** Pruned SSA, folding on, simplify and dce off, the paper's coalescer
     with default options, no register allocation. *)
 
-type stage = {
+val passes_of_config : config -> Pass.Pipeline.t
+(** The pipeline a config denotes: construct, the enabled transforms in
+    their historical order (simplify before dce), the conversion, and the
+    allocator when [registers] is set. [compile ~config] is exactly
+    [compile_passes (passes_of_config config)]. *)
+
+type stage = Pass.stage = {
   name : string;
   func : Ir.func;  (** snapshot after the stage *)
   note : string;  (** one-line statistics summary *)
 }
 
-type report = {
+type report = Pass.report = {
   input : Ir.func;
   output : Ir.func;  (** φ-free; register ids are colors if allocated *)
   stages : stage list;  (** in execution order *)
@@ -68,6 +82,17 @@ val compile :
     ([construct], [simplify], [dce], [convert], [regalloc], [check]); the
     recorder never changes the compilation result. *)
 
+val compile_passes :
+  ?check:bool ->
+  ?scratch:Support.Scratch.t ->
+  ?obs:Obs.t ->
+  Pass.Pipeline.t ->
+  Ir.func ->
+  report
+(** {!compile} for an arbitrary pipeline — e.g. one parsed from a
+    [--passes] spec by {!Pass.Spec.parse}. Raises [Invalid_argument] on a
+    shape-invalid pipeline (see {!Pass.Pipeline.validate}). *)
+
 val compile_source : ?config:config -> ?check:bool -> string -> report list
 (** Parse mini-language source and compile every function in it. *)
 
@@ -84,6 +109,16 @@ val compile_batch :
     input order and are identical to sequential {!compile} results. [obs]
     aggregates without contention: each task records into a private
     recorder, merged into [obs] at the join in input order. *)
+
+val compile_batch_passes :
+  ?jobs:int ->
+  ?check:bool ->
+  ?obs:Obs.t ->
+  Pass.Pipeline.t ->
+  Ir.func list ->
+  report list
+(** {!compile_batch} for an arbitrary pipeline. Pass values are immutable
+    closures, safe to share across the pool's domains. *)
 
 val pp_report : Format.formatter -> report -> unit
 (** The per-stage notes, one per line. *)

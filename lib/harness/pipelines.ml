@@ -81,3 +81,18 @@ let convert_batch_in pool pipeline funcs =
 
 let dynamic_copies result ~args =
   (Interp.run ~args result.func).stats.copies_executed
+
+(* ------------------------------------------------------------------ *)
+(* The pass-manager door                                               *)
+(* ------------------------------------------------------------------ *)
+
+let spec_of = function
+  | Standard -> "construct:pruned,standard"
+  | New -> "construct:pruned,coalesce"
+  | Briggs -> "construct:pruned,briggs"
+  | Briggs_star -> "construct:pruned,briggs-star"
+
+let compile_spec ?check spec f =
+  match Pass.Spec.parse spec with
+  | Ok pipeline -> Driver.Pipeline.compile_passes ?check pipeline f
+  | Error msg -> invalid_arg ("Pipelines.compile_spec: " ^ msg)

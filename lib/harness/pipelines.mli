@@ -38,3 +38,15 @@ val convert_batch_in : Engine.Pool.t -> pipeline -> Ir.func list -> result list
 
 val dynamic_copies : result -> args:Ir.value list -> int
 (** Execute under the interpreter and count copies — the Table 4 metric. *)
+
+val spec_of : pipeline -> string
+(** The {!Pass.Spec} pipeline spec denoting this conversion, e.g.
+    ["construct:pruned,coalesce"] for {!New} — the same spec string
+    [repro-cli opt --passes] accepts, so the harness's four named
+    pipelines and arbitrary CLI orderings go through one door
+    ([{!convert} p f].func = [(compile_spec (spec_of p) f).output]). *)
+
+val compile_spec : ?check:bool -> string -> Ir.func -> Driver.Pipeline.report
+(** Parse a pipeline spec and compile through the pass manager
+    ({!Driver.Pipeline.compile_passes}). Raises [Invalid_argument] on an
+    unknown pass name or a shape-invalid spec. *)

@@ -1,0 +1,139 @@
+module Cfg = Ir.Cfg
+
+type stats = {
+  copies_deleted : int;
+  consts_propagated : int;
+  phis_collapsed : int;
+  rounds : int;
+}
+
+(* One representative operand per rewritten register; chains are followed
+   and memoized, exactly as in {!Simplify} — SSA's unique definitions
+   guarantee the table entries never conflict. *)
+type env = { mapping : Ir.operand option array }
+
+let rec resolve env (op : Ir.operand) =
+  match op with
+  | Ir.Const _ -> op
+  | Ir.Reg r -> (
+    match env.mapping.(r) with
+    | None -> op
+    | Some next ->
+      let final = resolve env next in
+      env.mapping.(r) <- Some final;
+      final)
+
+let run (f : Ir.func) =
+  let cfg = Cfg.of_func f in
+  let copies = ref 0 in
+  let consts = ref 0 in
+  let phis_collapsed = ref 0 in
+  let rounds = ref 0 in
+  let current = ref f in
+  let continue_ = ref true in
+  while !continue_ do
+    incr rounds;
+    let g = !current in
+    let env = { mapping = Array.make g.Ir.nregs None } in
+    let changed = ref false in
+    let blocks =
+      Array.map
+        (fun (b : Ir.block) ->
+          if not (Cfg.reachable cfg b.Ir.label) then b
+          else begin
+            (* A φ is a parallel copy at the end of each predecessor: when
+               every incoming value resolves to one operand (self-loops
+               aside), the φ is that copy and propagates like one. *)
+            let phis =
+              List.filter
+                (fun (p : Ir.phi) ->
+                  let args =
+                    List.map (fun (pl, op) -> (pl, resolve env op)) p.args
+                  in
+                  let foreign =
+                    List.filter (fun (_, op) -> op <> Ir.Reg p.dst) args
+                    |> List.map snd |> List.sort_uniq compare
+                  in
+                  match foreign with
+                  | [ single ] ->
+                    env.mapping.(p.dst) <- Some single;
+                    incr phis_collapsed;
+                    changed := true;
+                    false
+                  | _ -> true)
+                b.phis
+            in
+            let phis =
+              List.map
+                (fun (p : Ir.phi) ->
+                  {
+                    p with
+                    Ir.args =
+                      List.map (fun (pl, op) -> (pl, resolve env op)) p.args;
+                  })
+                phis
+            in
+            let body =
+              List.filter
+                (fun i ->
+                  let i = Ir.map_instr_uses (fun r -> resolve env (Ir.Reg r)) i in
+                  match i with
+                  | Ir.Copy { dst; src } ->
+                    env.mapping.(dst) <- Some src;
+                    incr copies;
+                    (match src with
+                    | Ir.Const _ -> incr consts
+                    | Ir.Reg _ -> ());
+                    changed := true;
+                    false
+                  | Ir.Unop _ | Ir.Binop _ | Ir.Load _ | Ir.Store _ -> true)
+                b.body
+            in
+            let body =
+              List.map
+                (fun i -> Ir.map_instr_uses (fun r -> resolve env (Ir.Reg r)) i)
+                body
+            in
+            let term =
+              Ir.map_term_uses (fun r -> resolve env (Ir.Reg r)) b.term
+            in
+            { b with phis; body; term }
+          end)
+        g.Ir.blocks
+    in
+    (* A mapping recorded in a later block can reach an earlier one through
+       a back edge: apply the round's full substitution everywhere. *)
+    let blocks =
+      Array.map
+        (fun (b : Ir.block) ->
+          {
+            b with
+            Ir.phis =
+              List.map
+                (fun (p : Ir.phi) ->
+                  {
+                    p with
+                    Ir.args =
+                      List.map (fun (pl, op) -> (pl, resolve env op)) p.args;
+                  })
+                b.phis;
+            body =
+              List.map
+                (fun i -> Ir.map_instr_uses (fun r -> resolve env (Ir.Reg r)) i)
+                b.body;
+            term = Ir.map_term_uses (fun r -> resolve env (Ir.Reg r)) b.term;
+          })
+        blocks
+    in
+    current := { g with blocks };
+    if not !changed then continue_ := false
+  done;
+  ( !current,
+    {
+      copies_deleted = !copies;
+      consts_propagated = !consts;
+      phis_collapsed = !phis_collapsed;
+      rounds = !rounds;
+    } )
+
+let run_exn f = fst (run f)

@@ -1,0 +1,35 @@
+(** Copy propagation on SSA form — the standalone pass behind the
+    "Copy Propagation subsumes Constant Propagation" observation
+    (PAPERS.md): a copy whose source is a constant {e is} a constant
+    propagation, and a φ whose incoming values all resolve to one operand
+    is a copy in disguise, so one value-table rewriter covers all three.
+
+    Each round walks the reachable blocks with a memoized representative
+    table (register → final operand):
+
+    - [x := y] records [x ↦ resolve y] and deletes the copy, so later
+      uses of [x] read [y] (or [y]'s constant) directly;
+    - a φ whose arguments — self-loops aside — all resolve to a single
+      operand records that operand and disappears.
+
+    Rounds repeat to a fixpoint (collapsing a φ can make another trivial).
+    No arithmetic is evaluated and control flow is never changed: this is
+    deliberately the propagation fragment of {!Simplify}, packaged as its
+    own pass so pipeline orderings can schedule it independently — e.g.
+    before {!Dce} and the coalescer, where every deleted copy and φ is one
+    the conversion routes no longer have to reinsert. *)
+
+type stats = {
+  copies_deleted : int;  (** [Copy] instructions removed *)
+  consts_propagated : int;
+      (** the deleted copies whose resolved source was a constant — the
+          constant-propagation fragment *)
+  phis_collapsed : int;
+  rounds : int;
+}
+
+val run : Ir.func -> Ir.func * stats
+(** Input must be valid SSA; output is valid SSA with the same behaviour
+    (including faults). *)
+
+val run_exn : Ir.func -> Ir.func

@@ -21,7 +21,9 @@ let () =
       ("interp", Test_interp.suite);
       ("workloads", Test_workloads.suite);
       ("edge-cases", Test_edge_cases.suite);
+      ("copy-prop", Test_copy_prop.suite);
       ("pipeline", Test_pipeline.suite);
+      ("pass", Test_pass.suite);
       ("check", Test_check.suite);
       ("harness", Test_harness.suite);
       ("engine", Test_engine.suite);
