@@ -5,10 +5,11 @@
    byte-accurate models of the distinguishing data structures.
 
    Usage: main.exe [table1|table2|table3|table4|table5|scaling|ablation|
-                    destruction|passes|regalloc|throughput|metrics|all]
+                    destruction|passes|regalloc|throughput|cache|metrics|all]
           main.exe --fast ...     (shorter Bechamel quotas, noisier numbers)
-          main.exe --json ...     (also write BENCH_1.json: per-table wall
-                                   times + throughput, machine-readable)
+          main.exe --json ...     (also write BENCH_5.json: per-table wall
+                                   times + throughput + cache cold/warm,
+                                   machine-readable)
 
    Expected shapes (what the paper's tables show and ours must reproduce):
    - Table 1: Briggs* needs far less graph memory than Briggs and roughly
@@ -309,6 +310,82 @@ let throughput () =
          nfuncs (Domain.recommended_domain_count ()))
     ~header:[ "domains"; "funcs/sec"; "speedup" ]
     rows
+
+(* ------------------------------------------------------------------ *)
+(* Extension: the content-addressed compile cache — cold-vs-warm batch
+   throughput, i.e. what a serve loop gains on repeated inputs.         *)
+(* ------------------------------------------------------------------ *)
+
+(* (mode, functions/sec, speedup vs cold) rows, kept for the JSON
+   emitter. *)
+let cache_results : (string * float * float) list ref = ref []
+
+let cache_bench () =
+  let entries = kernels_and_large () in
+  let batch = List.map (fun (e : Workloads.Suite.entry) -> e.func) entries in
+  let nfuncs = List.length batch in
+  let pipeline = Driver.Pipeline.passes_of_config Driver.Pipeline.default in
+  let budget = Float.max 0.5 (!quota *. 4.) in
+  let hits = ref 0 and misses = ref 0 in
+  let modes =
+    Engine.Pool.with_pool ~jobs:2 (fun pool ->
+        (* Warm the pool and the domain scratch arenas before timing. *)
+        ignore (Driver.Pipeline.compile_batch_passes_in pool pipeline batch);
+        let fps thunk =
+          let t0 = M.now_s () in
+          let batches = ref 0 in
+          while M.now_s () -. t0 < budget do
+            thunk ();
+            incr batches
+          done;
+          let dt = M.now_s () -. t0 in
+          float_of_int (!batches * nfuncs) /. dt
+        in
+        let uncached =
+          fps (fun () ->
+              ignore
+                (Driver.Pipeline.compile_batch_passes_in pool pipeline batch))
+        in
+        (* Cold: a fresh cache per batch, so every item misses and pays
+           key hashing plus the store on top of compilation. *)
+        let cold =
+          fps (fun () ->
+              let cache = Cache.create ~capacity:1024 () in
+              ignore
+                (Driver.Pipeline.compile_batch_passes_in pool ~cache pipeline
+                   batch))
+        in
+        (* Warm: one cache populated once, so every item hits. *)
+        let cache = Cache.create ~capacity:1024 () in
+        ignore
+          (Driver.Pipeline.compile_batch_passes_in pool ~cache pipeline batch);
+        let warm =
+          fps (fun () ->
+              ignore
+                (Driver.Pipeline.compile_batch_passes_in pool ~cache pipeline
+                   batch))
+        in
+        let s = Cache.stats cache in
+        hits := s.Cache.hits;
+        misses := s.Cache.misses;
+        [ ("uncached", uncached); ("cold", cold); ("warm", warm) ])
+  in
+  let cold_fps = List.assoc "cold" modes in
+  cache_results :=
+    List.map (fun (mode, f) -> (mode, f, f /. cold_fps)) modes;
+  T.print
+    ~title:
+      (Printf.sprintf
+         "Cache: batch throughput over the kernel + generated large suite \
+          (%d functions, default pipeline, 2 domains; cold = fresh cache \
+          per batch, warm = every item hits; warm cache served %d hits / \
+          %d misses)"
+         nfuncs !hits !misses)
+    ~header:[ "mode"; "funcs/sec"; "vs cold" ]
+    (List.map
+       (fun (mode, f, speedup) ->
+         [ mode; Printf.sprintf "%.1f" f; T.fmt_ratio speedup ])
+       !cache_results)
 
 (* ------------------------------------------------------------------ *)
 (* Extension: O(n·α(n)) scaling of the coalescer itself.               *)
@@ -619,6 +696,16 @@ let emit_json ~path ~fast timings =
         jobs fps speedup
         (if i = List.length tp - 1 then "" else ","))
     tp;
+  out "  ],\n";
+  out "  \"cache\": [\n";
+  let cr = !cache_results in
+  List.iteri
+    (fun i (mode, fps, speedup) ->
+      out
+        "    {\"mode\": %S, \"functions_per_sec\": %.3f, \"vs_cold\": %.4f}%s\n"
+        mode fps speedup
+        (if i = List.length cr - 1 then "" else ","))
+    cr;
   out "  ]\n";
   out "}\n";
   close_out oc;
@@ -648,16 +735,18 @@ let () =
     | "destruction" -> timed name destruction
     | "passes" -> timed name pass_pipelines
     | "throughput" -> timed name throughput
+    | "cache" -> timed name cache_bench
     | "metrics" -> timed name metrics
     | "all" ->
       List.iter run
         [
           "table1"; "table2"; "table3"; "table4"; "scaling"; "ablation";
-          "destruction"; "passes"; "regalloc"; "throughput"; "metrics";
+          "destruction"; "passes"; "regalloc"; "throughput"; "cache";
+          "metrics";
         ]
     | other ->
       Printf.eprintf "unknown target %S\n" other;
       exit 2
   in
   List.iter run what;
-  if json then emit_json ~path:"BENCH_1.json" ~fast (List.rev !timings)
+  if json then emit_json ~path:"BENCH_5.json" ~fast (List.rev !timings)

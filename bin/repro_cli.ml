@@ -222,9 +222,10 @@ let opt_cmd =
           ~doc:
             "Run an explicit pass pipeline instead of the flag-derived one: \
              a comma-separated spec such as \
-             $(b,construct:pruned,copy-prop,simplify,dce,coalesce). Overrides \
-             --simplify/--dce/--via/--registers. An unknown pass name exits \
-             with code 2 and lists the registered passes."
+             $(b,construct:pruned,copy-prop,simplify,dce,coalesce). Conflicts \
+             with --simplify/--dce/--via/--registers (exit 2): the spec \
+             already determines the passes. An unknown pass name exits with \
+             code 2 and lists the registered passes."
           ~docv:"SPEC")
   in
   let simplify = Arg.(value & flag & info [ "simplify" ] ~doc:"Run Ssa.Simplify.") in
@@ -524,10 +525,250 @@ let report_cmd =
           conversion route (the paper's Tables 1-5 vectors)")
     Term.(const run $ path $ json $ jobs)
 
+(* ------------------------------------------------------------------ *)
+(* serve: persistent compile service over stdin/stdout                 *)
+(* ------------------------------------------------------------------ *)
+
+(* One request per stdin line, one response per stdout line; per-request
+   latency and the end-of-session cache summary go to stderr so scripted
+   sessions can diff stdout deterministically. The request grammar (see
+   DESIGN.md):
+
+     compile [--passes SPEC] PATH      compile every function in the file
+     inline  [--passes SPEC] PROGRAM   compile one-line mini-language text
+     run [--args V,..] [--passes SPEC] PATH   compile, then interpret
+     quit | exit                       respond "ok bye" and leave
+     # comment / blank                 ignored, no response
+
+   Responses reuse the process exit-code taxonomy as a status field:
+     ok ...                            the request succeeded
+     err status=2 MSG                  unparsable input / bad request
+     err status=3 MSG                  the program faulted when run
+   A failed request never terminates the session. *)
+
+let serve_values_of_string s =
+  List.map
+    (fun tok ->
+      match float_of_string_opt tok with
+      | Some x when Float.is_integer x -> Ir.Int (int_of_float x)
+      | Some x -> Ir.Float x
+      | None -> raise (Input_error ("serve: bad --args value '" ^ tok ^ "'")))
+    (String.split_on_char ',' s)
+
+(* Pull the first "--opt VALUE" pair out of a token list, keeping the
+   order of everything else (the inline program text, the path). *)
+let serve_extract opt words =
+  let rec go acc = function
+    | w :: v :: rest when w = opt -> (Some v, List.rev_append acc rest)
+    | [ w ] when w = opt ->
+      raise (Input_error ("serve: " ^ opt ^ " needs a value"))
+    | w :: rest -> go (w :: acc) rest
+    | [] -> (None, List.rev acc)
+  in
+  go [] words
+
+let serve_pipeline = function
+  | None -> Driver.Pipeline.passes_of_config Driver.Pipeline.default
+  | Some spec -> (
+    match Pass.Spec.parse spec with
+    | Ok p -> p
+    | Error msg -> raise (Input_error msg))
+
+let serve_parse_inline text =
+  match Frontend.Lower.compile text with
+  | [] -> raise (Input_error "serve: no functions in inline program")
+  | fs -> fs
+  | exception Frontend.Parser.Error (msg, line) ->
+    raise (Input_error (Printf.sprintf "inline:%d: %s" line msg))
+
+type serve_reply = Reply of string | Silent | Quit
+
+(* Compile a batch on the warm pool, reporting this request's cache-stat
+   delta so a scripted session shows cold misses turning into warm hits. *)
+let serve_compile ~pool ~cache pipeline funcs =
+  let before =
+    match cache with Some c -> Cache.stats c | None -> Cache.zero_stats
+  in
+  let reports =
+    Driver.Pipeline.compile_batch_passes_in pool ?cache pipeline funcs
+  in
+  let after =
+    match cache with Some c -> Cache.stats c | None -> Cache.zero_stats
+  in
+  let copies =
+    List.fold_left
+      (fun acc (r : Driver.Pipeline.report) -> acc + Ir.count_copies r.output)
+      0 reports
+  in
+  ( reports,
+    Printf.sprintf "funcs=%d copies=%d hits=%d misses=%d"
+      (List.length reports) copies
+      (after.Cache.hits - before.Cache.hits)
+      (after.Cache.misses - before.Cache.misses) )
+
+let serve_request ~pool ~cache line =
+  let words =
+    List.filter (fun w -> w <> "") (String.split_on_char ' ' line)
+  in
+  match words with
+  | [] -> Silent
+  | w :: _ when w.[0] = '#' -> Silent
+  | [ "quit" ] | [ "exit" ] -> Quit
+  | verb :: rest -> (
+    let spec, rest = serve_extract "--passes" rest in
+    match verb with
+    | "compile" -> (
+      match rest with
+      | [ path ] ->
+        let _, note = serve_compile ~pool ~cache (serve_pipeline spec) (load path) in
+        Reply ("ok " ^ note)
+      | _ -> raise (Input_error "serve: usage: compile [--passes SPEC] PATH"))
+    | "inline" ->
+      if rest = [] then
+        raise (Input_error "serve: usage: inline [--passes SPEC] PROGRAM")
+      else
+        let funcs = serve_parse_inline (String.concat " " rest) in
+        let _, note = serve_compile ~pool ~cache (serve_pipeline spec) funcs in
+        Reply ("ok " ^ note)
+    | "run" -> (
+      let args, rest = serve_extract "--args" rest in
+      let vals = Option.fold ~none:[] ~some:serve_values_of_string args in
+      match rest with
+      | [ path ] ->
+        let funcs = load path in
+        let reports, _ = serve_compile ~pool ~cache (serve_pipeline spec) funcs in
+        let outcomes =
+          List.map
+            (fun (r : Driver.Pipeline.report) ->
+              let o = Interp.run ~args:vals r.output in
+              Printf.sprintf "%s=%s" r.output.Ir.name
+                (match o.return_value with
+                | Some v -> Format.asprintf "%a" Ir.Printer.pp_value v
+                | None -> "(nothing)"))
+            reports
+        in
+        Reply ("ok ran " ^ String.concat " " outcomes)
+      | _ ->
+        raise
+          (Input_error "serve: usage: run [--args V,..] [--passes SPEC] PATH"))
+    | _ ->
+      raise
+        (Input_error
+           (Printf.sprintf
+              "serve: unknown request '%s' (requests: compile, inline, run, \
+               quit)"
+              verb)))
+
+(* The protocol is strictly line-oriented, so multi-line diagnostics (the
+   pass-registry listing after an unknown pass name, say) are trimmed to
+   their first line — which carries the verdict and the "did you mean". *)
+let serve_one_line msg =
+  match String.index_opt msg '\n' with
+  | Some i -> String.sub msg 0 i
+  | None -> msg
+
+(* Per-request degradation: anything the top-level handler would turn into
+   exit 2 or 3 becomes an err response with that status, and the loop keeps
+   serving. *)
+let serve_respond ~pool ~cache line =
+  let err status msg =
+    Reply (Printf.sprintf "err status=%d %s" status (serve_one_line msg))
+  in
+  match serve_request ~pool ~cache line with
+  | reply -> reply
+  | exception Input_error msg -> err exit_parse_error msg
+  | exception Sys_error msg -> err exit_parse_error msg
+  | exception Invalid_argument msg ->
+    (* e.g. Interp.run on a wrong argument count: bad request, not a
+       server fault. *)
+    err exit_parse_error msg
+  | exception Interp.Error e ->
+    err exit_runtime_fault
+      (Format.asprintf "runtime fault: %a" Interp.pp_error e)
+  | exception Check.Failed msg -> err exit_runtime_fault msg
+
+let serve_cmd =
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ]
+          ~doc:
+            "Keep a warm engine pool of $(docv) domains across requests \
+             (0 = one per core)."
+          ~docv:"N")
+  in
+  let no_cache =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ] ~doc:"Disable the content-addressed result cache.")
+  in
+  let capacity =
+    Arg.(
+      value & opt int 256
+      & info [ "cache-capacity" ]
+          ~doc:"In-memory cache entries to keep (LRU)." ~docv:"N")
+  in
+  let cache_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ]
+          ~doc:
+            "Also persist cache entries under $(docv) so results survive \
+             across serve sessions."
+          ~docv:"DIR")
+  in
+  let run jobs no_cache capacity cache_dir =
+    let jobs = if jobs = 0 then Engine.default_jobs () else jobs in
+    let cache =
+      if no_cache then None
+      else Some (Cache.create ~capacity ?dir:cache_dir ())
+    in
+    Engine.Pool.with_pool ~jobs (fun pool ->
+        let n = ref 0 in
+        let rec loop () =
+          match In_channel.input_line stdin with
+          | None -> ()
+          | Some line -> (
+            let t0 = Unix.gettimeofday () in
+            match serve_respond ~pool ~cache line with
+            | Silent -> loop ()
+            | Reply s ->
+              incr n;
+              print_string s;
+              print_newline ();
+              flush stdout;
+              Printf.eprintf "# request %d: %.2f ms\n%!" !n
+                ((Unix.gettimeofday () -. t0) *. 1000.);
+              loop ()
+            | Quit ->
+              print_string "ok bye\n";
+              flush stdout)
+        in
+        loop ();
+        Option.iter
+          (fun c ->
+            let s = Cache.stats c in
+            Printf.eprintf
+              "# served %d request(s); cache hits=%d misses=%d evictions=%d \
+               dedup=%d bytes=%d\n%!"
+              !n s.Cache.hits s.Cache.misses s.Cache.evictions
+              s.Cache.dedup_collapsed s.Cache.bytes_stored)
+          cache);
+    0
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Persistent compile service: one request per stdin line, one \
+          response per stdout line, reusing a warm engine pool and the \
+          result cache across requests")
+    Term.(const run $ jobs $ no_cache $ capacity $ cache_dir)
+
 let subcommands =
   [
     dump_cmd; run_cmd; compare_cmd; alloc_cmd; opt_cmd; dot_cmd; fuzz_cmd;
-    report_cmd;
+    report_cmd; serve_cmd;
   ]
 
 (* An unknown subcommand is an input error like any other: exit 2 with a
@@ -550,11 +791,57 @@ let check_subcommand () =
             (String.concat ", " names)))
   | _ -> ()
 
+(* cmdliner resolves a repeated option by last-wins, which for a compiler
+   driver silently discards half of what the user asked for. Repeated
+   options, and option combinations where one side would be ignored, are
+   input errors (exit 2). The scan normalizes --opt=value to --opt, folds
+   the -j alias onto --jobs, skips negative-number values, and stops at a
+   bare "--". *)
+let check_flag_conflicts () =
+  let canonical tok =
+    let base =
+      match String.index_opt tok '=' with
+      | Some i -> String.sub tok 0 i
+      | None -> tok
+    in
+    if base = "-j" then "--jobs" else base
+  in
+  let is_option tok =
+    String.length tok > 1
+    && tok.[0] = '-'
+    && tok <> "--"
+    && not (tok.[1] >= '0' && tok.[1] <= '9')
+  in
+  let rec scan seen = function
+    | [] -> seen
+    | "--" :: _ -> seen
+    | tok :: rest when is_option tok ->
+      let name = canonical tok in
+      if List.mem name seen then
+        raise
+          (Input_error
+             (Printf.sprintf "option '%s' given more than once" name));
+      scan (name :: seen) rest
+    | _ :: rest -> scan seen rest
+  in
+  let seen = scan [] (List.tl (Array.to_list Sys.argv)) in
+  if List.mem "--passes" seen then
+    List.iter
+      (fun flag ->
+        if List.mem flag seen then
+          raise
+            (Input_error
+               (Printf.sprintf
+                  "option '--passes' conflicts with '%s': the pipeline spec \
+                   already determines the passes" flag)))
+      [ "--via"; "--simplify"; "--dce"; "--registers" ]
+
 let () =
   let doc = "fast copy coalescing and live-range identification (PLDI 2002)" in
   let code =
     try
       check_subcommand ();
+      check_flag_conflicts ();
       Cmd.eval' ~catch:false
         (Cmd.group (Cmd.info "repro-cli" ~doc) subcommands)
     with

@@ -11,6 +11,7 @@
 type t
 
 val compute : Ir.func -> Ir.Cfg.t -> t
+(** Cooper-Harvey-Kennedy iterative idoms plus the DFS numbering. *)
 
 val compute_into : scratch:Support.Scratch.t -> Ir.func -> Ir.Cfg.t -> t
 (** Like {!compute}, but the numbering arrays (idom, preorder, max-preorder,

@@ -14,6 +14,7 @@
 type t
 
 val compute : ?obs:Obs.t -> Ir.func -> Ir.Cfg.t -> t
+(** Worklist dataflow to a fixpoint, allocating fresh bit vectors. *)
 
 val compute_into :
   scratch:Support.Scratch.t -> ?obs:Obs.t -> Ir.func -> Ir.Cfg.t -> t
@@ -31,9 +32,13 @@ val live_in : t -> Ir.label -> Support.Bitset.t
 (** Do not mutate the returned set. *)
 
 val live_out : t -> Ir.label -> Support.Bitset.t
+(** Do not mutate the returned set. *)
 
 val live_in_mem : t -> Ir.label -> Ir.reg -> bool
+(** Membership in {!live_in} without materializing the set. *)
+
 val live_out_mem : t -> Ir.label -> Ir.reg -> bool
+(** Membership in {!live_out} without materializing the set. *)
 
 val memory_bytes : t -> int
 (** Total bytes of the live-in/live-out bit vectors, for the memory

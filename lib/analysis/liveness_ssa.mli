@@ -13,8 +13,16 @@
 type t
 
 val compute : Ir.func -> Ir.Cfg.t -> t
+(** One def-to-uses walk per variable; the input must be regular SSA. *)
 
 val live_in : t -> Ir.label -> Support.Bitset.t
+(** Registers live at block entry. Do not mutate the returned set. *)
+
 val live_out : t -> Ir.label -> Support.Bitset.t
+(** Registers live at block exit. Do not mutate the returned set. *)
+
 val live_in_mem : t -> Ir.label -> Ir.reg -> bool
+(** Membership in {!live_in} without materializing the set. *)
+
 val live_out_mem : t -> Ir.label -> Ir.reg -> bool
+(** Membership in {!live_out} without materializing the set. *)

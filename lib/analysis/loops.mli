@@ -10,6 +10,7 @@
 type t
 
 val compute : Ir.Cfg.t -> Dominance.t -> t
+(** Find back edges and accumulate natural-loop nesting depths. *)
 
 val depth : t -> Ir.label -> int
 (** Number of natural loop bodies containing the block; 0 outside loops. *)

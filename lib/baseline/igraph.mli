@@ -33,6 +33,7 @@ val merge : t -> into:Ir.reg -> Ir.reg -> unit
 
 val num_nodes : t -> int
 val num_edges : t -> int
+(** Total number of undirected interference edges. *)
 
 val neighbors : t -> Ir.reg -> Ir.reg list
 (** Interfering registers, ascending. O(nodes) per query (a row scan of the

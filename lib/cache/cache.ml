@@ -1,0 +1,319 @@
+(* Content-addressed compile cache: an in-memory LRU over Pass.report
+   values, optionally backed by a versioned on-disk tier. Keys are hashes
+   of content (pipeline fingerprint + config + printed input), so there is
+   no invalidation protocol: anything that could change the result changes
+   the address. All bookkeeping happens under one mutex so a cache can be
+   shared across the engine's domains; compilation itself never runs under
+   the lock. *)
+
+let format_version = "repro-cache/1"
+
+(* ------------------------------------------------------------------ *)
+(* Hashing: 64-bit FNV-1a, twice with independent offset bases, hex-
+   concatenated to a 128-bit content address. Dependency-free and
+   byte-stable across platforms (Int64 arithmetic wraps mod 2^64).     *)
+(* ------------------------------------------------------------------ *)
+
+let fnv64 ~basis s =
+  let prime = 0x100000001b3L in
+  let h = ref basis in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) prime)
+    s;
+  !h
+
+let hash_content s =
+  Printf.sprintf "%016Lx%016Lx"
+    (fnv64 ~basis:0xcbf29ce484222325L s)
+    (fnv64 ~basis:0x6c62272e07bb0142L s)
+
+let key ~pipeline ~check (f : Ir.func) =
+  (* The '\000' separators keep the three components from aliasing each
+     other under concatenation; none of them can contain a NUL byte. *)
+  hash_content
+    (String.concat "\000"
+       [
+         format_version;
+         Pass.Pipeline.fingerprint pipeline;
+         (if check then "check" else "nocheck");
+         Ir.Printer.func_to_string f;
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  dedup_collapsed : int;
+  bytes_stored : int;
+}
+
+let zero_stats =
+  { hits = 0; misses = 0; evictions = 0; dedup_collapsed = 0; bytes_stored = 0 }
+
+(* ------------------------------------------------------------------ *)
+(* The cache proper                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type entry = { report : Pass.report; mutable last_use : int }
+
+type t = {
+  capacity : int;
+  disk_dir : string option;
+  lock : Mutex.t;
+  table : (string, entry) Hashtbl.t;
+  mutable clock : int;  (* recency ticks, bumped on every touch *)
+  mutable stats : stats;
+}
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let rec mkdir_p path =
+  if path <> "" && path <> "/" && path <> "." && not (Sys.file_exists path)
+  then begin
+    mkdir_p (Filename.dirname path);
+    try Sys.mkdir path 0o755
+    with Sys_error _ when Sys.is_directory path -> ()
+  end
+
+let create ?(capacity = 256) ?dir () =
+  Option.iter mkdir_p dir;
+  {
+    capacity = max 1 capacity;
+    disk_dir = dir;
+    lock = Mutex.create ();
+    table = Hashtbl.create 64;
+    clock = 0;
+    stats = zero_stats;
+  }
+
+let capacity t = t.capacity
+let dir t = t.disk_dir
+let stats t = locked t (fun () -> t.stats)
+let note_dedup t n =
+  locked t (fun () ->
+      t.stats <- { t.stats with dedup_collapsed = t.stats.dedup_collapsed + n })
+
+(* The footprint model of a stored entry: the functions it snapshots plus
+   its strings. Deterministic, so the serve protocol and the golden tests
+   can print it. *)
+let entry_bytes (r : Pass.report) =
+  List.fold_left
+    (fun acc (s : Pass.stage) ->
+      acc + Ir.estimated_bytes s.func + String.length s.name
+      + String.length s.note)
+    (Ir.estimated_bytes r.input + Ir.estimated_bytes r.output)
+    r.stages
+
+(* ------------------------------------------------------------------ *)
+(* On-disk form: a versioned text file. Function bodies are fenced by
+   '%%' marker lines, which cannot occur in printer output. Anything
+   unexpected during parsing yields None — the disk tier treats every
+   malformed entry as a miss.                                          *)
+(* ------------------------------------------------------------------ *)
+
+let serialize ~key (r : Pass.report) =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b format_version;
+  Buffer.add_char b '\n';
+  Buffer.add_string b ("key " ^ key ^ "\n");
+  Buffer.add_string b "%%input\n";
+  Buffer.add_string b (Ir.Printer.func_to_string r.input);
+  Buffer.add_char b '\n';
+  List.iter
+    (fun (s : Pass.stage) ->
+      Buffer.add_string b ("%%stage " ^ s.name ^ "\n");
+      Buffer.add_string b ("%%note " ^ s.note ^ "\n");
+      Buffer.add_string b (Ir.Printer.func_to_string s.func);
+      Buffer.add_char b '\n')
+    r.stages;
+  Buffer.add_string b "%%output\n";
+  Buffer.add_string b (Ir.Printer.func_to_string r.output);
+  Buffer.add_char b '\n';
+  Buffer.add_string b "%%end\n";
+  Buffer.contents b
+
+let strip_prefix ~prefix s =
+  if String.length s >= String.length prefix
+     && String.sub s 0 (String.length prefix) = prefix
+  then Some (String.sub s (String.length prefix)
+               (String.length s - String.length prefix))
+  else None
+
+let deserialize text =
+  let lines = String.split_on_char '\n' text in
+  (* Take lines until the next %% marker; they form one printed function. *)
+  let func_of rev_lines =
+    Ir.Parse.func_of_string (String.concat "\n" (List.rev rev_lines))
+  in
+  let is_marker l = String.length l >= 2 && l.[0] = '%' && l.[1] = '%' in
+  let rec take_func acc = function
+    | l :: rest when not (is_marker l) -> take_func (l :: acc) rest
+    | rest -> (func_of acc, rest)
+  in
+  try
+    match lines with
+    | v :: k :: "%%input" :: rest when v = format_version -> (
+      match strip_prefix ~prefix:"key " k with
+      | None -> None
+      | Some key ->
+        let input, rest = take_func [] rest in
+        let rec stages acc = function
+          | l :: rest when strip_prefix ~prefix:"%%stage " l <> None -> (
+            let name = Option.get (strip_prefix ~prefix:"%%stage " l) in
+            match rest with
+            | n :: rest when strip_prefix ~prefix:"%%note " n <> None
+                             || n = "%%note" ->
+              let note =
+                Option.value ~default:"" (strip_prefix ~prefix:"%%note " n)
+              in
+              let func, rest = take_func [] rest in
+              stages ({ Pass.name; func; note } :: acc) rest
+            | _ -> None)
+          | "%%output" :: rest -> (
+            let output, rest = take_func [] rest in
+            match rest with
+            | "%%end" :: ([] | [ "" ]) ->
+              (* A cached result re-enters the pipeline's contract, so it
+                 must satisfy the structural validator a fresh compile
+                 would have passed; a tampered entry fails here and reads
+                 as a miss. *)
+              Ir.Validate.check_exn input;
+              Ir.Validate.check_exn output;
+              Some
+                (key, { Pass.input; output; stages = List.rev acc })
+            | _ -> None)
+          | _ -> None
+        in
+        stages [] rest)
+    | _ -> None
+  with _ -> None
+
+let disk_path t key =
+  Option.map (fun d -> Filename.concat d (key ^ ".repro-cache")) t.disk_dir
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Atomic publication: write a private temp file, then rename into place.
+   Readers only ever see complete entries; concurrent writers of the same
+   key race benignly (identical content). Any failure leaves the cache
+   memory-only for this entry. *)
+let disk_store t key report =
+  match disk_path t key with
+  | None -> ()
+  | Some path -> (
+    let tmp =
+      Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
+        (Domain.self () :> int)
+    in
+    try
+      let oc = open_out_bin tmp in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc (serialize ~key report));
+      Sys.rename tmp path
+    with _ -> ( try Sys.remove tmp with _ -> ()))
+
+let disk_find t key =
+  match disk_path t key with
+  | None -> None
+  | Some path ->
+    if not (Sys.file_exists path) then None
+    else begin
+      match deserialize (read_file path) with
+      | Some (k, report) when k = key -> Some report
+      | Some _ | None | (exception _) ->
+        (* Corrupt or mis-addressed: drop it so the next write heals. *)
+        (try Sys.remove path with _ -> ());
+        None
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Memory tier (LRU) + the two-tier find/store                         *)
+(* ------------------------------------------------------------------ *)
+
+let touch t e =
+  t.clock <- t.clock + 1;
+  e.last_use <- t.clock
+
+(* Capacity is small (hundreds); a scan per eviction keeps the structure
+   trivially correct under the mutex. *)
+let evict_over_capacity t =
+  while Hashtbl.length t.table > t.capacity do
+    let victim =
+      Hashtbl.fold
+        (fun k e acc ->
+          match acc with
+          | Some (_, best) when best.last_use <= e.last_use -> acc
+          | _ -> Some (k, e))
+        t.table None
+    in
+    match victim with
+    | None -> ()
+    | Some (k, _) ->
+      Hashtbl.remove t.table k;
+      t.stats <- { t.stats with evictions = t.stats.evictions + 1 }
+  done
+
+let mem_insert t key report =
+  match Hashtbl.find_opt t.table key with
+  | Some e -> touch t e
+  | None ->
+    t.clock <- t.clock + 1;
+    Hashtbl.add t.table key { report; last_use = t.clock };
+    evict_over_capacity t
+
+let find t key =
+  let mem =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.table key with
+        | Some e ->
+          touch t e;
+          t.stats <- { t.stats with hits = t.stats.hits + 1 };
+          Some e.report
+        | None -> None)
+  in
+  match mem with
+  | Some _ as hit -> hit
+  | None -> (
+    (* Disk probe outside the lock: file IO must not serialize domains. *)
+    match disk_find t key with
+    | Some report ->
+      locked t (fun () ->
+          mem_insert t key report;
+          t.stats <- { t.stats with hits = t.stats.hits + 1 });
+      Some report
+    | None ->
+      locked t (fun () ->
+          t.stats <- { t.stats with misses = t.stats.misses + 1 });
+      None)
+
+let store t key report =
+  locked t (fun () ->
+      mem_insert t key report;
+      t.stats <-
+        { t.stats with bytes_stored = t.stats.bytes_stored + entry_bytes report });
+  disk_store t key report
+
+(* ------------------------------------------------------------------ *)
+(* Observability                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let record_extras t ~since obs =
+  let s = stats t in
+  Obs.add_extra obs "cache_hits" (s.hits - since.hits);
+  Obs.add_extra obs "cache_misses" (s.misses - since.misses);
+  Obs.add_extra obs "cache_evictions" (s.evictions - since.evictions);
+  Obs.add_extra obs "cache_dedup_collapsed"
+    (s.dedup_collapsed - since.dedup_collapsed);
+  Obs.add_extra obs "cache_bytes_stored" (s.bytes_stored - since.bytes_stored)

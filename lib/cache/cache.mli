@@ -1,0 +1,106 @@
+(** Content-addressed compile cache.
+
+    The pass manager makes pipelines declarative and deterministic: the
+    same pipeline fingerprint applied to the same input function always
+    produces the same report (the PR 4 ordering differentials pin this
+    down). That makes whole pipeline runs memoizable — the value-table
+    idea of global value numbering lifted to the granularity of a
+    compilation. A cache entry is addressed by a dependency-free hash of
+    {e content}, never by file name or timestamp:
+
+    {v key = fnv1a64x2 (pipeline fingerprint ⊕ pass-relevant config
+                        ⊕ canonical printed input function) v}
+
+    so invalidation is automatic — change the source, the pipeline, its
+    arguments, or the [--check] request and the address changes with it.
+
+    Two tiers:
+
+    - an {b in-memory LRU} of at most [capacity] reports, shared by every
+      domain of a batch (all operations take an internal mutex; the
+      critical sections are lookups and list surgery, never compilation);
+    - an optional {b on-disk tier} ([dir]): each entry is one versioned
+      text file written atomically (temp file + rename). The disk tier is
+      {e corruption-tolerant by contract}: a missing, truncated, stale or
+      garbage entry — including one whose embedded key disagrees with its
+      address — is a cache miss, never a fault, and provably-bad files
+      are deleted on the way out.
+
+    The cache never changes compilation results: a hit returns a report
+    that is {!Check.equiv}-equivalent to a fresh compile (the qcheck
+    differential in [test/test_cache.ml] enforces exactly this), and
+    cache-disabled runs are byte-identical to pre-cache behavior. *)
+
+type t
+
+type stats = {
+  hits : int;  (** lookups answered from either tier *)
+  misses : int;  (** lookups that fell through to compilation *)
+  evictions : int;  (** LRU entries dropped to respect [capacity] *)
+  dedup_collapsed : int;
+      (** batch work items collapsed onto an identical in-flight item
+          before reaching the engine pool (recorded by the driver via
+          {!note_dedup}) *)
+  bytes_stored : int;
+      (** cumulative estimated footprint of stored entries (input,
+          stages and output, {!Ir.estimated_bytes} model) *)
+}
+
+val create : ?capacity:int -> ?dir:string -> unit -> t
+(** [create ()] is a memory-only cache holding at most [capacity]
+    (default 256) reports. With [dir], entries are also persisted under
+    [dir] (created if missing) and survive the process; the memory tier
+    then acts as the hot front of the disk tier. Raises [Sys_error] only
+    if [dir] is given and cannot be created. *)
+
+val capacity : t -> int
+
+val dir : t -> string option
+(** The disk-tier directory, if one was configured. *)
+
+val key : pipeline:Pass.Pipeline.t -> check:bool -> Ir.func -> string
+(** The content address of compiling [f] through [pipeline]: a 32-hex-char
+    hash over the pipeline's {!Pass.Pipeline.fingerprint} (which includes
+    every pass argument), the [check] request (a checked run proves more,
+    so it never aliases an unchecked one), and the canonical printed form
+    of the input function. Dependency-free and stable within a cache
+    format version. *)
+
+val find : t -> string -> Pass.report option
+(** Memory tier first, then disk. A disk hit is promoted into the memory
+    tier. Counts one hit or one miss. *)
+
+val store : t -> string -> Pass.report -> unit
+(** Insert under [key], evicting least-recently-used memory entries
+    beyond [capacity] and (when configured) writing the disk entry
+    atomically. Disk-write failures are swallowed: a cache that cannot
+    persist degrades to memory-only, it does not fail the compile. *)
+
+val note_dedup : t -> int -> unit
+(** Record [n] batch items collapsed by work-item deduplication (the
+    driver calls this; it is bookkeeping only). *)
+
+val stats : t -> stats
+(** Monotonic counters since [create]. *)
+
+val zero_stats : stats
+(** All-zero counters — the [since] baseline for a fresh delta, and the
+    stand-in snapshot when no cache is configured. *)
+
+val record_extras : t -> since:stats -> Obs.t -> unit
+(** Publish the counter deltas since [since] into an {!Obs} recorder as
+    the extra counters ["cache_hits"], ["cache_misses"],
+    ["cache_evictions"], ["cache_dedup_collapsed"], ["cache_bytes_stored"]
+    — the names the obs report tables, JSON emission and the bench
+    "cache" table all share. Extras never appear in cache-disabled runs,
+    keeping golden metric vectors unchanged. *)
+
+(** {1 Disk-entry plumbing, exposed for tests} *)
+
+val serialize : key:string -> Pass.report -> string
+(** The versioned on-disk text form ([repro-cache/1] header, printed
+    functions fenced by [%%] markers). *)
+
+val deserialize : string -> (string * Pass.report) option
+(** Parse {!serialize} output back into (key, report); [None] on any
+    malformed, truncated or version-mismatched input (never raises). *)

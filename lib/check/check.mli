@@ -34,6 +34,7 @@ type mismatch = {
 }
 
 val pp_mismatch : Format.formatter -> mismatch -> unit
+(** The separating arguments and both outcomes, for diagnostics. *)
 
 val battery : ?vectors:int -> int -> Ir.value list list
 (** [battery ~vectors arity] is the deterministic argument battery used by
@@ -67,6 +68,7 @@ type interference = {
 }
 
 val pp_interference : Format.formatter -> interference -> unit
+(** The class, the offending pair, and the oracle that caught it. *)
 
 val interference_audit :
   ?options:Core.Coalesce.options ->
@@ -116,3 +118,4 @@ val equiv_exn :
 
 val interference_audit_exn :
   ?options:Core.Coalesce.options -> Ir.func -> unit
+(** {!interference_audit} raising {!Failed} on a violation. *)

@@ -37,6 +37,7 @@ type options = {
 }
 
 val default_options : options
+(** The paper's configuration: filters on, victim rule on. *)
 
 type stats = {
   classes : int;  (** congruence classes with ≥ 2 members after unioning *)

@@ -42,3 +42,4 @@ val size : t -> int
 val num_edges : t -> int
 
 val pp : Ir.func -> Format.formatter -> t -> unit
+(** The forest as parent-child edges, register names from [func]. *)

@@ -52,8 +52,22 @@ let passes_of_config (c : config) : Pass.Pipeline.t =
     | None -> []
     | Some k -> [ Pass.regalloc ~registers:k ]
 
-let compile_passes ?check ?scratch ?obs passes input =
-  Pass.run ?check ?scratch ?obs passes input
+let compile_passes ?(check = false) ?scratch ?obs ?cache passes input =
+  match cache with
+  | None -> Pass.run ~check ?scratch ?obs passes input
+  | Some c ->
+    let since = Cache.stats c in
+    let key = Cache.key ~pipeline:passes ~check input in
+    let r =
+      match Cache.find c key with
+      | Some r -> r
+      | None ->
+        let r = Pass.run ~check ?scratch ?obs passes input in
+        Cache.store c key r;
+        r
+    in
+    Option.iter (fun o -> Cache.record_extras c ~since o) obs;
+    r
 
 let compile ?(config = default) ?check ?scratch ?obs (input : Ir.func) =
   compile_passes ?check ?scratch ?obs (passes_of_config config) input
@@ -66,12 +80,11 @@ let compile_source ?config ?check source =
    so results are input-ordered and identical to sequential compilation.
    Pass values are immutable closures over their options, safe to share
    across the pool's domains. *)
-let compile_batch_passes ?jobs ?check ?obs passes (inputs : Ir.func list) =
+let batch_uncached_in pool ~check ?obs passes (inputs : Ir.func list) =
   match obs with
   | None ->
-    Engine.map ?jobs
-      (fun f ->
-        compile_passes ?check ~scratch:(Support.Scratch.domain ()) passes f)
+    Engine.map_in pool
+      (fun f -> Pass.run ~check ~scratch:(Support.Scratch.domain ()) passes f)
       inputs
   | Some into ->
     (* One private recorder per task (recorders are not thread-safe),
@@ -79,12 +92,11 @@ let compile_batch_passes ?jobs ?check ?obs passes (inputs : Ir.func list) =
        counter addition is commutative, and no domain ever contends on the
        caller's recorder. *)
     let results =
-      Engine.map ?jobs
+      Engine.map_in pool
         (fun f ->
           let o = Obs.create () in
           let r =
-            compile_passes ?check ~scratch:(Support.Scratch.domain ()) ~obs:o
-              passes f
+            Pass.run ~check ~scratch:(Support.Scratch.domain ()) ~obs:o passes f
           in
           (r, o))
         inputs
@@ -94,6 +106,59 @@ let compile_batch_passes ?jobs ?check ?obs passes (inputs : Ir.func list) =
         Obs.merge ~into o;
         r)
       results
+
+(* With a cache: every item is probed (so warm batches report one hit per
+   item, duplicates included), then the missing work is deduplicated by
+   content key — identical (function, pipeline, check) items reach the
+   domain pool exactly once and fan their one report back out. Reports are
+   immutable, so sharing one across duplicate inputs is safe. *)
+let batch_cached_in pool ~check ?obs cache passes (inputs : Ir.func list) =
+  let since = Cache.stats cache in
+  let probed =
+    List.map
+      (fun f ->
+        let key = Cache.key ~pipeline:passes ~check f in
+        (key, f, Cache.find cache key))
+      inputs
+  in
+  let seen = Hashtbl.create 16 in
+  let miss_reps =
+    (* Unique missing keys, first-occurrence order (determinism). *)
+    List.filter_map
+      (fun (key, f, hit) ->
+        if Option.is_some hit || Hashtbl.mem seen key then None
+        else begin
+          Hashtbl.add seen key ();
+          Some (key, f)
+        end)
+      probed
+  in
+  let misses =
+    List.length (List.filter (fun (_, _, hit) -> Option.is_none hit) probed)
+  in
+  Cache.note_dedup cache (misses - List.length miss_reps);
+  let compiled =
+    List.combine (List.map fst miss_reps)
+      (batch_uncached_in pool ~check ?obs passes (List.map snd miss_reps))
+  in
+  List.iter (fun (key, r) -> Cache.store cache key r) compiled;
+  let report_of key hit =
+    match hit with
+    | Some r -> r
+    | None -> List.assoc key compiled
+  in
+  let reports = List.map (fun (key, _, hit) -> report_of key hit) probed in
+  Option.iter (fun o -> Cache.record_extras cache ~since o) obs;
+  reports
+
+let compile_batch_passes_in pool ?(check = false) ?obs ?cache passes inputs =
+  match cache with
+  | None -> batch_uncached_in pool ~check ?obs passes inputs
+  | Some c -> batch_cached_in pool ~check ?obs c passes inputs
+
+let compile_batch_passes ?jobs ?check ?obs ?cache passes inputs =
+  Engine.Pool.with_pool ?jobs (fun pool ->
+      compile_batch_passes_in pool ?check ?obs ?cache passes inputs)
 
 let compile_batch ?jobs ?(config = default) ?check ?obs inputs =
   compile_batch_passes ?jobs ?check ?obs (passes_of_config config) inputs

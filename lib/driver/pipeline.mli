@@ -86,12 +86,18 @@ val compile_passes :
   ?check:bool ->
   ?scratch:Support.Scratch.t ->
   ?obs:Obs.t ->
+  ?cache:Cache.t ->
   Pass.Pipeline.t ->
   Ir.func ->
   report
 (** {!compile} for an arbitrary pipeline — e.g. one parsed from a
     [--passes] spec by {!Pass.Spec.parse}. Raises [Invalid_argument] on a
-    shape-invalid pipeline (see {!Pass.Pipeline.validate}). *)
+    shape-invalid pipeline (see {!Pass.Pipeline.validate}).
+
+    With [cache], the result is looked up by {!Cache.key} first and stored
+    on a miss; a hit skips the pipeline entirely (so [obs] records no pass
+    spans for it). Cache stat deltas from this call are published to [obs]
+    as extra counters ([cache_hits], [cache_misses], …). *)
 
 val compile_source : ?config:config -> ?check:bool -> string -> report list
 (** Parse mini-language source and compile every function in it. *)
@@ -114,11 +120,31 @@ val compile_batch_passes :
   ?jobs:int ->
   ?check:bool ->
   ?obs:Obs.t ->
+  ?cache:Cache.t ->
   Pass.Pipeline.t ->
   Ir.func list ->
   report list
 (** {!compile_batch} for an arbitrary pipeline. Pass values are immutable
-    closures, safe to share across the pool's domains. *)
+    closures, safe to share across the pool's domains.
+
+    With [cache], every item is probed individually (a warm batch therefore
+    reports one hit per item, duplicates included) and the remaining misses
+    are deduplicated by content key before they reach the domain pool:
+    identical (function, pipeline, check) work items are compiled once and
+    share one report; the number of collapsed duplicates is recorded as
+    [cache_dedup_collapsed]. Results stay in input order either way. *)
+
+val compile_batch_passes_in :
+  Engine.Pool.t ->
+  ?check:bool ->
+  ?obs:Obs.t ->
+  ?cache:Cache.t ->
+  Pass.Pipeline.t ->
+  Ir.func list ->
+  report list
+(** {!compile_batch_passes} on an existing pool, so long-lived drivers (the
+    serve loop, repeated benchmark batches) pay the domain-spawn cost once
+    and keep each domain's scratch arena warm across batches. *)
 
 val pp_report : Format.formatter -> report -> unit
 (** The per-stage notes, one per line. *)

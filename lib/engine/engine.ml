@@ -146,9 +146,10 @@ module Pool = struct
     Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 end
 
-let map ?jobs f l =
-  Pool.with_pool ?jobs (fun pool ->
-      Array.to_list (Pool.map_array pool f (Array.of_list l)))
+let map_in pool f l =
+  Array.to_list (Pool.map_array pool f (Array.of_list l))
+
+let map ?jobs f l = Pool.with_pool ?jobs (fun pool -> map_in pool f l)
 
 type compiled = {
   func : Ir.func;

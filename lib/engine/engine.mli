@@ -47,6 +47,11 @@ val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** One-shot parallel map over a list (pool created and shut down
     internally); input-order results. *)
 
+val map_in : Pool.t -> ('a -> 'b) -> 'a list -> 'b list
+(** {!map} on an existing pool, so long-lived drivers (the serve loop,
+    repeated batches) pay the domain-spawn cost once and keep each
+    domain's scratch arena warm across batches. *)
+
 type compiled = {
   func : Ir.func;  (** φ-free output of the paper's coalescer *)
   stats : Core.Coalesce.stats;

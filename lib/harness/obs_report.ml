@@ -19,10 +19,15 @@ let collect ?jobs ?(routes = default_routes) funcs : Obs.report =
 
 let print ?out (report : Obs.report) =
   let header = "counter" :: List.map fst report in
+  (* Union of counter names across routes (extras — e.g. the compile
+     cache's — may be present on only some), preserving first-seen order. *)
   let counter_keys =
-    match report with
-    | [] -> []
-    | (_, (s : Obs.Snapshot.t)) :: _ -> List.map fst s.counters
+    List.fold_left
+      (fun acc (_, (s : Obs.Snapshot.t)) ->
+        List.fold_left
+          (fun acc (k, _) -> if List.mem k acc then acc else acc @ [ k ])
+          acc s.counters)
+      [] report
   in
   let cell (s : Obs.Snapshot.t) key =
     match List.assoc_opt key s.counters with

@@ -13,7 +13,10 @@
 type pipeline = Standard | New | Briggs | Briggs_star
 
 val name : pipeline -> string
+(** Display name, as used in table headers ("Standard", "Briggs*", ...). *)
+
 val all : pipeline list
+(** Every conversion, in the order the tables list them. *)
 
 type result = {
   func : Ir.func;  (** φ-free, validated *)

@@ -17,7 +17,10 @@ val fmt_seconds : float -> string
 (** e.g. [0.00123] → ["1.23ms"], sub-microsecond shown in µs. *)
 
 val fmt_bytes : int -> string
+(** e.g. [2048] → ["2.0KB"]. *)
+
 val fmt_ratio : float -> string
+(** Two-decimal ratio, e.g. ["0.48"]. *)
 
 val average : float list -> float
 (** Arithmetic mean; 0 on empty. *)

@@ -20,6 +20,7 @@ type error =
 exception Error of error
 
 val pp_error : Format.formatter -> error -> unit
+(** Human-readable fault description (what the CLI prints on exit 3). *)
 
 type stats = {
   instrs_executed : int;  (** body instructions, φs and terminators *)

@@ -32,6 +32,7 @@ val terminate : t -> Mir.label -> Mir.terminator -> unit
 val is_terminated : t -> Mir.label -> bool
 
 val num_blocks : t -> int
+(** Blocks created so far. *)
 
 val finish : t -> Mir.func
 (** Freeze the function. Raises [Failure] if a block lacks a terminator or

@@ -7,6 +7,7 @@
 type t
 
 val of_func : Mir.func -> t
+(** One pass over the terminators; O(blocks + edges). *)
 
 val succs : t -> Mir.label -> Mir.label list
 (** Distinct successors, in terminator order. *)
@@ -22,7 +23,10 @@ val postorder : t -> Mir.label array
 val reverse_postorder : t -> Mir.label array
 
 val num_blocks : t -> int
+(** Same as the function's block count (unreachable blocks included). *)
+
 val entry : t -> Mir.label
+(** The function's entry label. *)
 
 val num_edges : t -> int
 (** Number of CFG edges between reachable blocks. *)

@@ -11,6 +11,7 @@
 val is_critical : Cfg.t -> src:Mir.label -> dst:Mir.label -> bool
 
 val count_critical : Mir.func -> int
+(** Number of critical edges {!run} would split. *)
 
 val run : Mir.func -> Mir.func
 (** Insert a fresh jump-only block on every critical edge and retarget the

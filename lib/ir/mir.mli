@@ -82,7 +82,10 @@ val map_instr_uses : (reg -> operand) -> instr -> instr
 val map_instr_def : (reg -> reg) -> instr -> instr
 
 val term_uses : terminator -> reg list
+(** Registers read by the terminator (branch condition, return value). *)
+
 val map_term_uses : (reg -> operand) -> terminator -> terminator
+(** Substitute the terminator's register uses, as {!map_instr_uses}. *)
 
 val successors : terminator -> label list
 (** Successor labels in branch order, without duplicates removed. *)
@@ -93,6 +96,7 @@ val map_successors : (label -> label) -> terminator -> terminator
 
 val block : func -> label -> block
 val num_blocks : func -> int
+(** Total blocks, reachable or not; labels are [0 .. num_blocks - 1]. *)
 
 val iter_instrs : func -> (label -> instr -> unit) -> unit
 (** All non-φ instructions, in block order then program order. *)
@@ -122,3 +126,4 @@ val estimated_bytes : func -> int
 
 val with_blocks : func -> block array -> func
 val map_blocks : (block -> block) -> func -> func
+(** A copy of the function with every block rewritten by [f]. *)

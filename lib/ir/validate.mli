@@ -11,6 +11,7 @@ type error = {
 }
 
 val pp_error : Format.formatter -> error -> unit
+(** [where: what], the form the [Invalid] exception message uses. *)
 
 val structure : Mir.func -> error list
 (** Structural checks: labels in range and consistent, registers in range,

@@ -121,6 +121,8 @@ type t = {
   counts : int array;
   span_acc : (string, float ref) Hashtbl.t;
   mutable span_order : string list;  (* reverse first-seen order *)
+  extra_acc : (string, int ref) Hashtbl.t;
+  mutable extra_order : string list;  (* reverse first-seen order *)
 }
 
 let create () =
@@ -128,6 +130,8 @@ let create () =
     counts = Array.make num_counters 0;
     span_acc = Hashtbl.create 8;
     span_order = [];
+    extra_acc = Hashtbl.create 8;
+    extra_order = [];
   }
 
 let incr t c =
@@ -153,19 +157,35 @@ let span t name f =
     ~finally:(fun () -> add_span t name (Unix.gettimeofday () -. t0))
     f
 
+let add_extra t name n =
+  match Hashtbl.find_opt t.extra_acc name with
+  | Some r -> r := !r + n
+  | None ->
+    Hashtbl.add t.extra_acc name (ref n);
+    t.extra_order <- name :: t.extra_order
+
 let merge ~into src =
   Array.iteri (fun i v -> into.counts.(i) <- into.counts.(i) + v) src.counts;
   List.iter
     (fun n -> add_span into n !(Hashtbl.find src.span_acc n))
-    (List.rev src.span_order)
+    (List.rev src.span_order);
+  List.iter
+    (fun n -> add_extra into n !(Hashtbl.find src.extra_acc n))
+    (List.rev src.extra_order)
 
 let reset t =
   Array.fill t.counts 0 num_counters 0;
   Hashtbl.reset t.span_acc;
-  t.span_order <- []
+  t.span_order <- [];
+  Hashtbl.reset t.extra_acc;
+  t.extra_order <- []
+
+let extras t =
+  List.rev_map (fun n -> (n, !(Hashtbl.find t.extra_acc n))) t.extra_order
 
 let counters t =
   List.map (fun c -> (counter_name c, t.counts.(index c))) all_counters
+  @ extras t
 
 let spans t =
   List.rev_map (fun n -> (n, !(Hashtbl.find t.span_acc n))) t.span_order

@@ -66,7 +66,10 @@ val create : unit -> t
 
 val incr : t -> counter -> unit
 val add : t -> counter -> int -> unit
+(** [add t c n] bumps counter [c] by [n] ({!incr} is [add t c 1]). *)
+
 val get : t -> counter -> int
+(** Current value of one canonical counter. *)
 
 val span : t -> string -> (unit -> 'a) -> 'a
 (** [span t name f] runs [f], adding its wall-clock duration to the span
@@ -76,15 +79,28 @@ val span : t -> string -> (unit -> 'a) -> 'a
 val add_span : t -> string -> float -> unit
 (** Add [seconds] to the named span directly. *)
 
+val add_extra : t -> string -> int -> unit
+(** Add to a named {e extra} counter — an open-ended side channel for
+    subsystems whose counters must not disturb the canonical vector (the
+    compile cache: ["cache_hits"], ["cache_misses"], …). Extras appear in
+    {!counters}, snapshots and JSON only once recorded, so runs that never
+    touch the subsystem emit exactly the canonical vector and golden files
+    stay comparable. *)
+
 val merge : into:t -> t -> unit
-(** Add every counter and span of the source recorder into [into]. The
-    source is left untouched. *)
+(** Add every counter, extra and span of the source recorder into [into].
+    The source is left untouched. *)
 
 val reset : t -> unit
 
 val counters : t -> (string * int) list
 (** The full counter vector, canonical order — every counter, including
-    zeros, so vectors from different runs always align. *)
+    zeros, so vectors from different runs always align — followed by any
+    recorded extras in first-seen order. *)
+
+val extras : t -> (string * int) list
+(** Only the extra counters, first-recorded order; empty when no
+    {!add_extra} ever ran. *)
 
 val spans : t -> (string * float) list
 (** Accumulated spans in first-recorded order. *)
@@ -99,6 +115,8 @@ module Snapshot : sig
 end
 
 val snapshot : t -> Snapshot.t
+(** Freeze the recorder's counters (canonical vector plus any extras)
+    and accumulated spans into an immutable value. *)
 
 type report = (string * Snapshot.t) list
 (** One snapshot per conversion route, e.g.

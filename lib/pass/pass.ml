@@ -11,6 +11,7 @@ type t = {
   name : string;
   stage : string;
   span : string;
+  key : string;
   shape : shape;
   run : ctx -> Ir.func -> Ir.func * string;
   check_audit : (ctx -> Ir.func -> unit) option;
@@ -26,6 +27,7 @@ let transform ~name run =
     name;
     stage = name;
     span = name;
+    key = name;
     shape = Transform;
     run = (fun _ f -> run f);
     check_audit = None;
@@ -37,6 +39,14 @@ let construct ?(pruning = Ssa.Construct.Pruned) ?(fold_copies = true) () =
     name = "construct";
     stage = "ssa";
     span = "construct";
+    key =
+      (let p =
+         match pruning with
+         | Ssa.Construct.Pruned -> "pruned"
+         | Ssa.Construct.Semi_pruned -> "semi-pruned"
+         | Ssa.Construct.Minimal -> "minimal"
+       in
+       "construct:" ^ p ^ if fold_copies then "" else "+nofold");
     shape = Construct;
     run =
       (fun ctx f ->
@@ -75,6 +85,14 @@ let coalesce ?(options = Core.Coalesce.default_options) () =
     name = "coalesce";
     stage = "coalesce";
     span = "convert";
+    key =
+      (let flags =
+         (if options.use_filters then [] else [ "no-filters" ])
+         @ if options.victim_heuristic then [] else [ "no-victim" ]
+       in
+       match flags with
+       | [] -> "coalesce"
+       | fs -> "coalesce:" ^ String.concat "+" fs);
     shape = Conversion;
     run =
       (fun ctx f ->
@@ -93,6 +111,7 @@ let standard =
     name = "standard";
     stage = "standard";
     span = "convert";
+    key = "standard";
     shape = Conversion;
     run =
       (fun ctx f ->
@@ -110,6 +129,7 @@ let sreedhar_i =
     name = "sreedhar-i";
     stage = "sreedhar-i";
     span = "convert";
+    key = "sreedhar-i";
     shape = Conversion;
     run =
       (fun ctx f ->
@@ -136,6 +156,7 @@ let graph variant =
     name;
     stage;
     span = "convert";
+    key = name;
     shape = Conversion;
     run =
       (fun ctx f ->
@@ -160,6 +181,7 @@ let regalloc ~registers =
     name = "regalloc";
     stage = "regalloc";
     span = "regalloc";
+    key = Printf.sprintf "regalloc:%d" registers;
     shape = Finish;
     run =
       (fun _ f ->
@@ -180,6 +202,9 @@ let regalloc ~registers =
 
 module Pipeline = struct
   type nonrec t = t list
+
+  let fingerprint passes =
+    String.concat "," (List.map (fun p -> p.key) passes)
 
   let conversion_names = "standard|coalesce|briggs|briggs-star|sreedhar-i"
 
@@ -526,6 +551,5 @@ module Spec = struct
         | Ok () -> Ok passes
         | Error msg -> Error ("bad pipeline: " ^ msg))
 
-  let to_string passes =
-    String.concat "," (List.map (fun (p : t) -> p.name) passes)
+  let to_string passes = Pipeline.fingerprint passes
 end

@@ -50,6 +50,12 @@ type t = {
   span : string;
       (** obs span charged with the run; all conversions share
           ["convert"] so route timings stay comparable *)
+  key : string;
+      (** canonical spec item {e including arguments} (["regalloc:8"],
+          ["construct:pruned+nofold"]) — the pass's contribution to
+          {!Pipeline.fingerprint}, which cache keys and spec
+          round-tripping rely on. Two passes with equal [key] must
+          denote the same transformation. *)
   shape : shape;
   run : ctx -> Ir.func -> Ir.func * string;  (** returns (output, note) *)
   check_audit : (ctx -> Ir.func -> unit) option;
@@ -80,7 +86,10 @@ val copy_prop : t
 (** {!Ssa.Copy_prop} — the pass that proves the extension point. *)
 
 val simplify : t
+(** {!Ssa.Simplify}: folding, identities, copy propagation, phi collapse. *)
+
 val dce : t
+(** {!Ssa.Dce}: dead-code elimination on SSA def-use chains. *)
 
 val coalesce : ?options:Core.Coalesce.options -> unit -> t
 (** The paper's graph-free coalescing conversion. Spec forms: [coalesce],
@@ -89,7 +98,11 @@ val coalesce : ?options:Core.Coalesce.options -> unit -> t
     interference audit of its input SSA. *)
 
 val standard : t
+(** Naive phi instantiation after edge splitting; no coalescing. *)
+
 val sreedhar_i : t
+(** Sreedhar et al.'s Method I: correct by construction, most copies. *)
+
 val graph : Baseline.Ig_coalesce.variant -> t
 (** Spec names [briggs] and [briggs-star]. *)
 
@@ -107,6 +120,12 @@ module Pipeline : sig
   (** Shape-check: non-empty, a {!Construct} first (and only first),
       {!Transform}s before the single {!Conversion}, {!Finish}es after
       it, and nothing else. The error is a human-readable sentence. *)
+
+  val fingerprint : t -> string
+  (** The canonical spec of the pipeline with arguments reconstructed
+      (comma-joined pass [key]s) — parseable by {!Spec.parse} back to an
+      equivalent pipeline, and the pipeline half of the compile cache's
+      content address. *)
 end
 
 (** {1 Running} *)
@@ -177,6 +196,7 @@ module Spec : sig
       resulting pipeline is shape-checked with {!Pipeline.validate}. *)
 
   val to_string : Pipeline.t -> string
-  (** The canonical spec of a pipeline's pass names (arguments are not
-      reconstructed). *)
+  (** The canonical spec of a pipeline, arguments included — an alias of
+      {!Pipeline.fingerprint}; [parse (to_string p)] yields an
+      equivalent pipeline. *)
 end

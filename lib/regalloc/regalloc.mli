@@ -20,6 +20,7 @@ type options = {
 }
 
 val default_options : options
+(** 8 registers, [Cost_over_degree] spill metric, 16 rounds. *)
 
 type stats = {
   rounds : int;

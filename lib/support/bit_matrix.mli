@@ -18,6 +18,7 @@ val set : t -> int -> int -> unit
 val get : t -> int -> int -> bool
 
 val clear : t -> unit
+(** Erase every pair, keeping the dimension. *)
 
 val count : t -> int
 (** Number of distinct pairs set. *)

@@ -12,10 +12,19 @@ val create : int -> t
 val capacity : t -> int
 
 val mem : t -> int -> bool
+(** Membership test, O(1). *)
+
 val add : t -> int -> unit
+(** Insert an element; no-op if already present. *)
+
 val remove : t -> int -> unit
+(** Delete an element; no-op if absent. *)
+
 val clear : t -> unit
+(** Empty the set in place, keeping its capacity. *)
+
 val copy : t -> t
+(** An independent set with the same contents and capacity. *)
 
 val cardinal : t -> int
 (** Number of elements. O(capacity/8). *)
@@ -40,9 +49,15 @@ val iter : (int -> unit) -> t -> unit
 (** Iterate elements in increasing order. *)
 
 val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
 val elements : t -> int list
+(** The elements in increasing order. *)
+
 val is_empty : t -> bool
+(** [true] iff the set has no elements, O(capacity/8). *)
+
 val of_list : int -> int list -> t
+(** [of_list n xs] is the capacity-[n] set of the elements of [xs]. *)
 
 val memory_bytes : t -> int
 (** Bytes of backing storage, for the memory-accounting experiments. *)

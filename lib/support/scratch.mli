@@ -45,6 +45,7 @@ type stats = {
 }
 
 val stats : t -> stats
+(** Hit/miss counts since creation (or the last {!clear}). *)
 
 val clear : t -> unit
 (** Drop every pooled buffer (they become garbage) and reset the stats. *)

@@ -3,12 +3,32 @@
 type 'a t
 
 val create : unit -> 'a t
+(** A fresh empty vector. *)
+
 val length : 'a t -> int
+(** Number of elements pushed so far. *)
+
 val get : 'a t -> int -> 'a
+(** [get v i] is element [i]; raises [Invalid_argument] out of bounds. *)
+
 val set : 'a t -> int -> 'a -> unit
+(** [set v i x] overwrites element [i]; raises [Invalid_argument] out of
+    bounds (it never grows the vector). *)
+
 val push : 'a t -> 'a -> unit
+(** Append one element, growing the backing store amortized O(1). *)
+
 val to_array : 'a t -> 'a array
+(** A fresh array of the elements in index order. *)
+
 val to_list : 'a t -> 'a list
+(** The elements in index order. *)
+
 val of_array : 'a array -> 'a t
+(** A vector with the array's elements; the array is not shared. *)
+
 val iter : ('a -> unit) -> 'a t -> unit
+(** Apply to each element in index order. *)
+
 val iteri : (int -> 'a -> unit) -> 'a t -> unit
+(** {!iter} with the element index. *)

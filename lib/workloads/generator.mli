@@ -18,6 +18,7 @@ type config = {
 }
 
 val default : config
+(** Seed 42, size 40, depth 3, 8 variables. *)
 
 val generate : config -> Frontend.Ast.func
 (** The function takes parameters [n] and [a]. *)

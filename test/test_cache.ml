@@ -1,0 +1,324 @@
+(* Tests for the content-addressed compile cache: key sensitivity, LRU
+   eviction, disk-tier corruption tolerance, batch work-item dedup, obs
+   extras, and the qcheck differential pinning "a cache hit is
+   indistinguishable from a fresh compile". *)
+
+open Helpers
+
+let default_pipeline () =
+  Driver.Pipeline.passes_of_config Driver.Pipeline.default
+
+let spec_pipeline spec = Result.get_ok (Pass.Spec.parse spec)
+
+let fresh_tmp_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "repro-cache-test-%d-%d" (Unix.getpid ()) !counter)
+    in
+    (* Cache.create creates it; start from a clean slate. *)
+    if Sys.file_exists d then
+      Array.iter
+        (fun f -> Sys.remove (Filename.concat d f))
+        (Sys.readdir d);
+    d
+
+(* ------------------------------------------------------------------ *)
+(* Key sensitivity                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_key_sensitivity () =
+  let f = straight_line () and g = diamond () in
+  let p = default_pipeline () in
+  let k = Cache.key ~pipeline:p ~check:false f in
+  checki "key is 32 hex chars" 32 (String.length k);
+  String.iter
+    (fun c ->
+      checkb "hex digit" true
+        ((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')))
+    k;
+  checkb "same inputs, same key" true
+    (k = Cache.key ~pipeline:p ~check:false f);
+  checkb "different function, different key" false
+    (k = Cache.key ~pipeline:p ~check:false g);
+  checkb "check flag changes the key" false
+    (k = Cache.key ~pipeline:p ~check:true f);
+  checkb "different pipeline, different key" false
+    (k
+    = Cache.key ~pipeline:(spec_pipeline "construct,standard") ~check:false f);
+  (* Pass arguments must reach the key: the pre-fingerprint Spec.to_string
+     dropped them, which would alias regalloc:8 with regalloc:4. *)
+  checkb "pass arguments change the key" false
+    (Cache.key ~pipeline:(spec_pipeline "construct,coalesce,regalloc:8")
+       ~check:false f
+    = Cache.key ~pipeline:(spec_pipeline "construct,coalesce,regalloc:4")
+        ~check:false f);
+  checkb "construct variant changes the key" false
+    (Cache.key ~pipeline:(spec_pipeline "construct:pruned,coalesce")
+       ~check:false f
+    = Cache.key ~pipeline:(spec_pipeline "construct:minimal,coalesce")
+        ~check:false f)
+
+(* ------------------------------------------------------------------ *)
+(* Memory tier: hits, misses, LRU eviction                             *)
+(* ------------------------------------------------------------------ *)
+
+let compile_report f =
+  Pass.run (default_pipeline ()) f
+
+let test_lru_eviction () =
+  let c = Cache.create ~capacity:2 () in
+  let funcs = [ straight_line (); diamond (); counting_loop () ] in
+  let keys =
+    List.map
+      (fun f -> Cache.key ~pipeline:(default_pipeline ()) ~check:false f)
+      funcs
+  in
+  List.iter2 (fun k f -> Cache.store c k (compile_report f)) keys funcs;
+  let s = Cache.stats c in
+  checki "one eviction beyond capacity" 1 s.Cache.evictions;
+  checkb "bytes accounted" true (s.Cache.bytes_stored > 0);
+  match keys with
+  | [ k1; k2; k3 ] ->
+    checkb "oldest entry evicted" true (Cache.find c k1 = None);
+    checkb "recent entries survive" true
+      (Cache.find c k2 <> None && Cache.find c k3 <> None);
+    let s = Cache.stats c in
+    checki "hits counted" 2 s.Cache.hits;
+    checki "misses counted" 1 s.Cache.misses;
+    (* Touch k2, then overflow: k3 is now the least recently used. *)
+    ignore (Cache.find c k2);
+    Cache.store c k1 (compile_report (List.hd funcs));
+    checkb "LRU respects find recency" true
+      (Cache.find c k3 = None && Cache.find c k2 <> None)
+  | _ -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* Disk tier: persistence and corruption tolerance                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_serialize_roundtrip () =
+  let f = counting_loop () in
+  let key = Cache.key ~pipeline:(default_pipeline ()) ~check:false f in
+  let r = compile_report f in
+  let text = Cache.serialize ~key r in
+  match Cache.deserialize text with
+  | None -> Alcotest.fail "roundtrip lost the entry"
+  | Some (k, r') ->
+    checkb "key survives" true (k = key);
+    checkb "input survives" true
+      (Ir.Printer.func_to_string r.input = Ir.Printer.func_to_string r'.input);
+    checkb "output survives" true
+      (Ir.Printer.func_to_string r.output
+      = Ir.Printer.func_to_string r'.output);
+    checki "stage count survives" (List.length r.stages)
+      (List.length r'.stages);
+    List.iter2
+      (fun (s : Pass.stage) (s' : Pass.stage) ->
+        checkb "stage name survives" true (s.name = s'.name);
+        checkb "stage note survives" true (s.note = s'.note))
+      r.stages r'.stages
+
+let test_deserialize_rejects_garbage () =
+  let f = straight_line () in
+  let key = Cache.key ~pipeline:(default_pipeline ()) ~check:false f in
+  let good = Cache.serialize ~key (compile_report f) in
+  let half = String.sub good 0 (String.length good / 2) in
+  List.iter
+    (fun (label, text) ->
+      checkb label true (Cache.deserialize text = None))
+    [
+      ("empty", "");
+      ("garbage", "not a cache entry\nat all");
+      ("truncated entry", half);
+      ("missing end marker", String.concat "" [ half; "\n%%output\n" ]);
+      ( "wrong format version",
+        "repro-cache/0" ^ String.sub good 13 (String.length good - 13) );
+      ("body tampered", String.map (fun c -> if c = '=' then '!' else c) good);
+    ]
+
+let test_disk_tier () =
+  let dir = fresh_tmp_dir () in
+  let f = diamond () in
+  let key = Cache.key ~pipeline:(default_pipeline ()) ~check:false f in
+  let c1 = Cache.create ~capacity:4 ~dir () in
+  Cache.store c1 key (compile_report f);
+  (* A second cache over the same directory — a later serve session —
+     must hit on disk and promote into memory. *)
+  let c2 = Cache.create ~capacity:4 ~dir () in
+  checkb "disk hit across instances" true (Cache.find c2 key <> None);
+  checki "disk hit counted" 1 (Cache.stats c2).Cache.hits;
+  (* Corrupt every on-disk entry: lookups in a third instance must read
+     as misses, never fault, and the provably-bad file is removed. *)
+  Array.iter
+    (fun name ->
+      let path = Filename.concat dir name in
+      let oc = open_out path in
+      output_string oc "corrupted beyond recognition";
+      close_out oc)
+    (Sys.readdir dir);
+  let c3 = Cache.create ~capacity:4 ~dir () in
+  checkb "corrupt entry is a miss" true (Cache.find c3 key = None);
+  checki "corrupt miss counted" 1 (Cache.stats c3).Cache.misses;
+  checkb "corrupt file deleted" true
+    (not (Sys.file_exists (Filename.concat dir (key ^ ".repro-cache"))));
+  (* The tier heals: the next store round-trips again. *)
+  Cache.store c3 key (compile_report f);
+  let c4 = Cache.create ~capacity:4 ~dir () in
+  checkb "healed after re-store" true (Cache.find c4 key <> None);
+  Array.iter (fun n -> Sys.remove (Filename.concat dir n)) (Sys.readdir dir);
+  Sys.rmdir dir
+
+(* ------------------------------------------------------------------ *)
+(* Driver integration: single compiles, batch dedup, obs extras        *)
+(* ------------------------------------------------------------------ *)
+
+let test_compile_passes_cache () =
+  let c = Cache.create () in
+  let f = counting_loop () in
+  let p = default_pipeline () in
+  let r1 = Driver.Pipeline.compile_passes ~cache:c p f in
+  let r2 = Driver.Pipeline.compile_passes ~cache:c p f in
+  let s = Cache.stats c in
+  checki "first compile missed" 1 s.Cache.misses;
+  checki "second compile hit" 1 s.Cache.hits;
+  checkb "hit returns the stored report" true (r1 == r2)
+
+let test_batch_dedup_and_warm_hits () =
+  let c = Cache.create () in
+  let f1 = straight_line () and f2 = diamond () in
+  let batch = [ f1; f2; f1; f1 ] in
+  let p = default_pipeline () in
+  let obs_cold = Obs.create () in
+  let cold =
+    Driver.Pipeline.compile_batch_passes ~jobs:2 ~obs:obs_cold ~cache:c p batch
+  in
+  let s = Cache.stats c in
+  checki "cold: every item probed" 4 s.Cache.misses;
+  checki "cold: no hits" 0 s.Cache.hits;
+  (* Four missing items, two distinct keys: two collapsed before the pool. *)
+  checki "cold: duplicates collapsed" 2 s.Cache.dedup_collapsed;
+  checki "cold: extras show the misses" 4
+    (List.assoc "cache_misses" (Obs.extras obs_cold));
+  checki "cold: extras show the collapse" 2
+    (List.assoc "cache_dedup_collapsed" (Obs.extras obs_cold));
+  let obs_warm = Obs.create () in
+  let warm =
+    Driver.Pipeline.compile_batch_passes ~jobs:2 ~obs:obs_warm ~cache:c p batch
+  in
+  let s = Cache.stats c in
+  (* The acceptance bar: a warm batch reports one hit per repeated item. *)
+  checki "warm: one hit per item" 4 s.Cache.hits;
+  checki "warm: no new misses" 4 s.Cache.misses;
+  checki "warm: extras show the hits" 4
+    (List.assoc "cache_hits" (Obs.extras obs_warm));
+  (* Results are input-ordered and identical across cold and warm runs. *)
+  List.iter2
+    (fun (a : Driver.Pipeline.report) (b : Driver.Pipeline.report) ->
+      checkb "warm output equals cold output" true
+        (Ir.Printer.func_to_string a.output = Ir.Printer.func_to_string b.output))
+    cold warm;
+  List.iter2
+    (fun f (r : Driver.Pipeline.report) ->
+      checkb "reports stay input-aligned" true
+        (Ir.Printer.func_to_string f = Ir.Printer.func_to_string r.input))
+    batch warm
+
+let test_extras_absent_without_cache () =
+  let obs = Obs.create () in
+  let f = straight_line () in
+  ignore (Driver.Pipeline.compile_passes ~obs (default_pipeline ()) f);
+  checkb "no cache counters in cache-free runs" true (Obs.extras obs = []);
+  checkb "snapshot has no cache keys" true
+    (List.for_all
+       (fun (name, _) -> not (contains name "cache"))
+       (Obs.counters obs))
+
+(* ------------------------------------------------------------------ *)
+(* The differential: cached result ≡ fresh result                      *)
+(* ------------------------------------------------------------------ *)
+
+let cache_specs =
+  [
+    "construct:pruned,coalesce";
+    "construct:pruned,copy-prop,simplify,dce,coalesce";
+    "construct:semi-pruned,dce,standard";
+    "construct:minimal,coalesce,regalloc:8";
+  ]
+
+(* Compile twice through a shared cache (so the second run is a hit) and
+   once fresh; the hit must be the stored report, the stored report must
+   print identically to the fresh one, and the cached output must be
+   Check.equiv to the original program — i.e. a cache hit is semantically
+   indistinguishable from compiling. *)
+let prop_cached_equals_fresh =
+  QCheck.Test.make ~count:25
+    ~name:"cache hit ≡ fresh compile (printed form and Check.equiv)"
+    QCheck.(triple (int_bound 10_000) (int_range 8 30) (int_bound 1_000))
+    (fun (seed, size, pick) ->
+      let f = random_program seed size in
+      let spec = List.nth cache_specs (pick mod List.length cache_specs) in
+      let pipeline = spec_pipeline spec in
+      let cache = Cache.create () in
+      let cold = Driver.Pipeline.compile_passes ~cache pipeline f in
+      let warm = Driver.Pipeline.compile_passes ~cache pipeline f in
+      let fresh = Driver.Pipeline.compile_passes pipeline f in
+      let hit = (Cache.stats cache).Cache.hits = 1 in
+      let same_print =
+        Ir.Printer.func_to_string warm.output
+        = Ir.Printer.func_to_string fresh.output
+      in
+      let ignore_arrays =
+        if contains spec "regalloc" then [ Regalloc.spill_array ] else []
+      in
+      let equiv =
+        match Check.equiv ~ignore_arrays ~reference:f warm.output with
+        | Ok () -> true
+        | Error _ -> false
+      in
+      hit && warm == cold && same_print && equiv)
+
+(* The disk tier under the same differential: a second cache instance over
+   the same directory must serve a report that prints identically. *)
+let prop_disk_roundtrip =
+  QCheck.Test.make ~count:15 ~name:"disk tier round-trips reports verbatim"
+    QCheck.(pair (int_bound 10_000) (int_range 8 25))
+    (fun (seed, size) ->
+      let f = random_program seed size in
+      let pipeline = default_pipeline () in
+      let dir = fresh_tmp_dir () in
+      let key = Cache.key ~pipeline ~check:false f in
+      let c1 = Cache.create ~dir () in
+      let r = Driver.Pipeline.compile_passes ~cache:c1 pipeline f in
+      let c2 = Cache.create ~dir () in
+      let round = Cache.find c2 key in
+      Array.iter
+        (fun n -> Sys.remove (Filename.concat dir n))
+        (Sys.readdir dir);
+      Sys.rmdir dir;
+      match round with
+      | None -> false
+      | Some r' ->
+        Ir.Printer.func_to_string r.output = Ir.Printer.func_to_string r'.output
+        && Ir.Printer.func_to_string r.input
+           = Ir.Printer.func_to_string r'.input)
+
+let suite =
+  [
+    Alcotest.test_case "key sensitivity" `Quick test_key_sensitivity;
+    Alcotest.test_case "lru eviction" `Quick test_lru_eviction;
+    Alcotest.test_case "serialize roundtrip" `Quick test_serialize_roundtrip;
+    Alcotest.test_case "deserialize rejects garbage" `Quick
+      test_deserialize_rejects_garbage;
+    Alcotest.test_case "disk tier" `Quick test_disk_tier;
+    Alcotest.test_case "compile_passes cache" `Quick test_compile_passes_cache;
+    Alcotest.test_case "batch dedup and warm hits" `Quick
+      test_batch_dedup_and_warm_hits;
+    Alcotest.test_case "extras absent without cache" `Quick
+      test_extras_absent_without_cache;
+    QCheck_alcotest.to_alcotest prop_cached_equals_fresh;
+    QCheck_alcotest.to_alcotest prop_disk_roundtrip;
+  ]

@@ -28,4 +28,5 @@ let () =
       ("harness", Test_harness.suite);
       ("engine", Test_engine.suite);
       ("obs", Test_obs.suite);
+      ("cache", Test_cache.suite);
     ]

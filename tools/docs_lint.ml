@@ -1,0 +1,140 @@
+(* Documentation lint: every [val] exported by a .mli under the given
+   roots must carry a doc comment. The container has no odoc, so this is
+   the documentation gate: it enforces the "one-line contract per exported
+   function" rule that odoc would render, without needing odoc installed.
+
+   A val counts as documented if either
+   - the attached doc comment follows the declaration (the style this
+     repo uses: [val f : t]  then  [(** contract *)]), i.e. a [(**]
+     appears between this item and the next one, or
+   - the preceding non-blank line closes a comment ([*)]), covering the
+     doc-before style and vals grouped under one shared header comment.
+
+   Exit 0 when clean; exit 1 listing every file:line offender. *)
+
+let is_prefix p s =
+  String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+let lstrip s =
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n && (s.[!i] = ' ' || s.[!i] = '\t') do incr i done;
+  String.sub s !i (n - !i)
+
+let rstrip s =
+  let n = ref (String.length s) in
+  while !n > 0 && (s.[!n - 1] = ' ' || s.[!n - 1] = '\t' || s.[!n - 1] = '\r')
+  do decr n done;
+  String.sub s 0 !n
+
+(* Lines that begin a new signature item: the end of the region in which
+   a val's trailing doc comment may appear. *)
+let item_starts = [ "val "; "type "; "module "; "exception "; "external "; "end" ]
+
+let is_item_start line =
+  let l = lstrip line in
+  List.exists (fun p -> is_prefix p l) item_starts
+
+let val_name line =
+  let l = lstrip line in
+  if not (is_prefix "val " l) then None
+  else
+    let rest = String.sub l 4 (String.length l - 4) in
+    let n = String.length rest in
+    let i = ref 0 in
+    while
+      !i < n
+      && (match rest.[!i] with
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '\'' -> true
+         | _ -> false)
+    do incr i done;
+    if !i = 0 then None else Some (String.sub rest 0 !i)
+
+let contains_doc_open line =
+  let n = String.length line in
+  let rec loop i =
+    i + 3 <= n
+    && ((line.[i] = '(' && line.[i + 1] = '*' && line.[i + 2] = '*')
+       || loop (i + 1))
+  in
+  loop 0
+
+let lint_file path =
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  let lines = Array.of_list (List.rev !lines) in
+  let n = Array.length lines in
+  let offenders = ref [] in
+  for i = 0 to n - 1 do
+    match val_name lines.(i) with
+    | None -> ()
+    | Some name ->
+      (* Doc before: the nearest non-blank line above closes a comment. *)
+      let doc_before =
+        let j = ref (i - 1) in
+        while !j >= 0 && rstrip lines.(!j) = "" do decr j done;
+        !j >= 0
+        &&
+        let above = rstrip lines.(!j) in
+        String.length above >= 2
+        && String.sub above (String.length above - 2) 2 = "*)"
+      in
+      (* Doc after: a doc-comment opener between this item and the next. *)
+      let doc_after =
+        let found = ref false in
+        let j = ref i in
+        let stop = ref false in
+        while (not !stop) && !j < n do
+          if !j > i && is_item_start lines.(!j) then stop := true
+          else begin
+            if contains_doc_open lines.(!j) then begin
+              found := true;
+              stop := true
+            end;
+            incr j
+          end
+        done;
+        !found
+      in
+      if not (doc_before || doc_after) then
+        offenders := (i + 1, name) :: !offenders
+  done;
+  List.rev_map (fun (line, name) -> (path, line, name)) !offenders
+
+let rec walk path acc =
+  if Sys.is_directory path then
+    Array.fold_left
+      (fun acc entry -> walk (Filename.concat path entry) acc)
+      acc
+      (let entries = Sys.readdir path in
+       Array.sort compare entries;
+       entries)
+  else if Filename.check_suffix path ".mli" then path :: acc
+  else acc
+
+let () =
+  let roots =
+    match List.tl (Array.to_list Sys.argv) with
+    | [] -> [ "lib" ]
+    | roots -> roots
+  in
+  let files = List.concat_map (fun r -> List.rev (walk r [])) roots in
+  let offenders = List.concat_map lint_file files in
+  match offenders with
+  | [] ->
+    Printf.printf "docs lint: %d interface file(s), every exported val \
+                   documented\n"
+      (List.length files)
+  | _ ->
+    List.iter
+      (fun (path, line, name) ->
+        Printf.eprintf "%s:%d: val %s has no doc comment\n" path line name)
+      offenders;
+    Printf.eprintf "docs lint: %d undocumented val(s)\n"
+      (List.length offenders);
+    exit 1
