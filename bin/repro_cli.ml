@@ -271,7 +271,24 @@ let opt_cmd =
              output on Check.equiv's argument battery and audit the \
              coalescer's congruence classes for interference.")
   in
-  let run path passes simplify dce registers conversion jobs check =
+  let dominators =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("chk", Analysis.Dominance.Chk); ("dsu", Analysis.Dominance.Dsu) ])
+          Analysis.Dominance.Chk
+      & info [ "dominators" ]
+          ~doc:
+            "Dominator algorithm for every analysis in the pipeline: \
+             $(b,chk) (Cooper-Harvey-Kennedy iteration) or $(b,dsu) \
+             (Lengauer-Tarjan with disjoint-set-union path compression). \
+             Both produce identical results; dsu avoids chk's quadratic \
+             tail on degenerate CFGs."
+          ~docv:"chk|dsu")
+  in
+  let run path passes simplify dce registers conversion jobs check dominators =
+    Analysis.Dominance.set_default_algorithm dominators;
     let pipeline =
       match passes with
       | Some spec -> (
@@ -305,7 +322,7 @@ let opt_cmd =
     (Cmd.info "opt" ~doc:"Run the whole configurable backend pipeline")
     Term.(
       const run $ path $ passes $ simplify $ dce $ k $ conversion $ jobs
-      $ check)
+      $ check $ dominators)
 
 let dot_cmd =
   let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
@@ -374,12 +391,74 @@ let fuzz_keep ~route ~vectors (ast : Frontend.Ast.func) =
         | Ok () -> false
         | Error _ -> true))
 
+(* Analysis differentials, run on the raw CFG of a fuzzed program: the two
+   dominator solvers must agree idom-for-idom on every reachable block
+   (idoms are unique), and dense bitset liveness must match the hash-table
+   reference set-for-set. *)
+let analysis_differentials (ir : Ir.func) : (string * string) list =
+  let cfg = Ir.Cfg.of_func ir in
+  let chk = Analysis.Dominance.compute ~algorithm:Chk ir cfg in
+  let dsu = Analysis.Dominance.compute ~algorithm:Dsu ir cfg in
+  let dom_mismatches = ref [] in
+  for l = 0 to Ir.num_blocks ir - 1 do
+    if Ir.Cfg.reachable cfg l then begin
+      let a = Analysis.Dominance.idom chk l in
+      let b = Analysis.Dominance.idom dsu l in
+      if a <> b then
+        dom_mismatches :=
+          Printf.sprintf "b%d: chk idom=%s, dsu idom=%s" l
+            (match a with Some i -> string_of_int i | None -> "-")
+            (match b with Some i -> string_of_int i | None -> "-")
+          :: !dom_mismatches
+    end
+  done;
+  let dom_failures =
+    match !dom_mismatches with
+    | [] -> []
+    | ms -> [ ("dominators", String.concat "; " (List.rev ms)) ]
+  in
+  let dense = Analysis.Liveness.compute ir cfg in
+  let reference = Analysis.Liveness_ref.compute ir cfg in
+  let live_mismatches = ref [] in
+  for l = 0 to Ir.num_blocks ir - 1 do
+    if Ir.Cfg.reachable cfg l then begin
+      let dense_elems sel =
+        List.filter
+          (fun r -> Support.Bitset.mem (sel dense l) r)
+          (List.init ir.Ir.nregs Fun.id)
+      in
+      let din = dense_elems Analysis.Liveness.live_in in
+      let dout = dense_elems Analysis.Liveness.live_out in
+      let rin = Analysis.Liveness_ref.live_in reference l in
+      let rout = Analysis.Liveness_ref.live_out reference l in
+      if din <> rin || dout <> rout then
+        live_mismatches :=
+          Printf.sprintf "b%d: dense in=[%s] out=[%s], ref in=[%s] out=[%s]" l
+            (String.concat "," (List.map string_of_int din))
+            (String.concat "," (List.map string_of_int dout))
+            (String.concat "," (List.map string_of_int rin))
+            (String.concat "," (List.map string_of_int rout))
+          :: !live_mismatches
+    end
+  done;
+  let live_failures =
+    match !live_mismatches with
+    | [] -> []
+    | ms -> [ ("liveness", String.concat "; " (List.rev ms)) ]
+  in
+  dom_failures @ live_failures
+
 let fuzz_seed ~size ~vectors seed : fuzz_failure list =
   let ast =
     Workloads.Generator.generate
       { Workloads.Generator.default with seed; size }
   in
   let ir, _ = Frontend.Lower.lower ast in
+  let analysis_failures =
+    List.map
+      (fun (route, detail) -> { seed; route; detail })
+      (analysis_differentials ir)
+  in
   let audit_failures =
     match Check.interference_audit (Ssa.Construct.run_exn ir) with
     | Ok () -> []
@@ -392,7 +471,7 @@ let fuzz_seed ~size ~vectors seed : fuzz_failure list =
         };
       ]
   in
-  audit_failures
+  analysis_failures @ audit_failures
   @ List.concat_map
       (fun (route, conversion) ->
         let config = { Driver.Pipeline.default with conversion } in
@@ -442,7 +521,8 @@ let fuzz_cmd =
     match failures with
     | [] ->
       Printf.printf
-        "fuzz: %d seeds x %d routes (+ interference audit): no discrepancies\n"
+        "fuzz: %d seeds x %d routes (+ interference audit, dominator and \
+         liveness differentials): no discrepancies\n"
         seeds
         (List.length fuzz_routes);
       0

@@ -74,14 +74,13 @@ let compute_into ~scratch ?obs (f : Ir.func) cfg =
     head := (!head + 1) mod (n + 1);
     on_list.(l) <- 0;
     incr pops;
-    List.iter
-      (fun s -> ignore (Bitset.union_into ~dst:live_out.(l) live_in.(s)))
-      (Cfg.succs cfg l);
+    Cfg.iter_succs cfg l (fun s ->
+        ignore (Bitset.union_into ~dst:live_out.(l) live_in.(s)));
     Bitset.blit ~src:live_out.(l) ~dst:tmp;
     Bitset.diff_into ~dst:tmp kill.(l);
     ignore (Bitset.union_into ~dst:tmp gen.(l));
     if Bitset.union_into ~dst:live_in.(l) tmp then
-      List.iter push (Cfg.preds cfg l)
+      Cfg.iter_preds cfg l push
   done;
   Scratch.release_bitset scratch tmp;
   Array.iter (Scratch.release_bitset scratch) gen;

@@ -30,7 +30,7 @@ let compute (f : Ir.func) cfg =
       && not (Bitset.mem live_in.(l) v)
     then begin
       Bitset.add live_in.(l) v;
-      List.iter (fun p -> mark_live_out v p) (Cfg.preds cfg l)
+      Cfg.iter_preds cfg l (fun p -> mark_live_out v p)
     end
   and mark_live_out v l =
     if Cfg.reachable cfg l && not (Bitset.mem live_out.(l) v) then begin
@@ -40,9 +40,13 @@ let compute (f : Ir.func) cfg =
   and mark_live_in_force v l =
     if not (Bitset.mem live_in.(l) v) then begin
       Bitset.add live_in.(l) v;
-      List.iter (fun p -> mark_live_out v p) (Cfg.preds cfg l)
+      Cfg.iter_preds cfg l (fun p -> mark_live_out v p)
     end
   in
+  (* Per-block kill tracking as a stamp array: [killed.(v) = l] means v is
+     defined in block l above the current scan point — no per-block table
+     allocation. *)
+  let killed = Array.make nr (-1) in
   Array.iter
     (fun (b : Ir.block) ->
       if Cfg.reachable cfg b.label then begin
@@ -56,18 +60,17 @@ let compute (f : Ir.func) cfg =
           b.phis;
         (* Ordinary uses are live into this block unless defined here
            earlier; the backward scan finds upward-exposed ones. *)
-        let killed = Hashtbl.create 8 in
-        List.iter (fun (p : Ir.phi) -> Hashtbl.replace killed p.dst ()) b.phis;
+        let l = b.label in
+        List.iter (fun (p : Ir.phi) -> killed.(p.dst) <- l) b.phis;
         List.iter
           (fun i ->
             List.iter
-              (fun v ->
-                if not (Hashtbl.mem killed v) then mark_live_in v b.label)
+              (fun v -> if killed.(v) <> l then mark_live_in v l)
               (Ir.uses i);
-            Option.iter (fun d -> Hashtbl.replace killed d ()) (Ir.def i))
+            Option.iter (fun d -> killed.(d) <- l) (Ir.def i))
           b.body;
         List.iter
-          (fun v -> if not (Hashtbl.mem killed v) then mark_live_in v b.label)
+          (fun v -> if killed.(v) <> l then mark_live_in v l)
           (Ir.term_uses b.term)
       end)
     f.blocks;

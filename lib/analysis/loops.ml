@@ -22,36 +22,39 @@ let compute cfg dom =
         stack := rest;
         if not in_loop.(b) then begin
           in_loop.(b) <- true;
-          List.iter (fun p -> stack := p :: !stack) (Cfg.preds cfg b)
+          Cfg.iter_preds cfg b (fun p -> stack := p :: !stack)
         end
     done;
     in_loop
   in
   (* Back edges sharing a header form one loop: merge their bodies before
      counting depth, otherwise e.g. a while-loop with a `continue` would
-     count double. *)
-  let back_edges = Hashtbl.create 8 in
+     count double. Header-indexed dense map; iteration is in label order,
+     so the result is deterministic by construction. *)
+  let back_edges =
+    Support.Entity.Secondary_map.create ~default:[] ()
+  in
   for t = 0 to n - 1 do
     if Cfg.reachable cfg t then
-      List.iter
-        (fun h ->
-          if Dominance.dominates dom h t then begin
-            let tails = try Hashtbl.find back_edges h with Not_found -> [] in
-            Hashtbl.replace back_edges h (t :: tails)
-          end)
-        (Cfg.succs cfg t)
+      Cfg.iter_succs cfg t (fun h ->
+          if Dominance.dominates dom h t then
+            Support.Entity.Secondary_map.update back_edges h (fun tails ->
+                t :: tails))
   done;
-  Hashtbl.iter
-    (fun h tails ->
-      headers := h :: !headers;
-      let body = Array.make n false in
-      List.iter
-        (fun t ->
-          let part = loop_of t h in
-          Array.iteri (fun b inside -> if inside then body.(b) <- true) part)
-        tails;
-      Array.iteri (fun b inside -> if inside then depth.(b) <- depth.(b) + 1) body)
-    back_edges;
+  Support.Entity.Secondary_map.iteri back_edges (fun h tails ->
+      if tails <> [] then begin
+        headers := h :: !headers;
+        let body = Array.make n false in
+        List.iter
+          (fun t ->
+            let part = loop_of t h in
+            Array.iteri (fun b inside -> if inside then body.(b) <- true) part)
+          tails;
+        Array.iteri
+          (fun b inside -> if inside then depth.(b) <- depth.(b) + 1)
+          body
+      end)
+  ;
   { depth; headers = List.sort compare !headers }
 
 let depth t l = t.depth.(l)

@@ -71,6 +71,12 @@ let analyze ~options ~scratch ~cfg ?obs (f : Ir.func) : analysis =
   let uf = Union_find.create f.nregs in
   let filter_refusals = ref 0 in
   let const_args = ref 0 in
+  (* Per-φ "argument defined in this block already" marks, as a stamp array
+     over blocks: [seen_stamp.(blk) = current φ's stamp] replaces a per-φ
+     hash table (filter 5 below). *)
+  let nb = Ir.num_blocks f in
+  let seen_stamp = Scratch.acquire_int_array scratch nb (-1) in
+  let phi_stamp = ref 0 in
   (* Phase 1 — build initial live ranges (Section 3.1): union φ targets with
      arguments, refusing positions the five filters prove interfering. *)
   Array.iter
@@ -86,7 +92,8 @@ let analyze ~options ~scratch ~cfg ?obs (f : Ir.func) : analysis =
              seeded: an argument defined in the φ's block — the classic
              loop-increment i2 := i1 + 1 feeding i1's φ — usually does not
              interfere with the target, and the local pass checks it. *)
-          let seen_blocks = Hashtbl.create 4 in
+          incr phi_stamp;
+          let stamp = !phi_stamp in
           List.iter
             (fun (_pl, op) ->
               match op with
@@ -95,7 +102,7 @@ let analyze ~options ~scratch ~cfg ?obs (f : Ir.func) : analysis =
                 oincr Obs.Const_phi_args
               | Ir.Reg a ->
                 if Union_find.same uf a d then
-                  Hashtbl.replace seen_blocks (site a).Interference.block ()
+                  seen_stamp.((site a).Interference.block) <- stamp
                 else begin
                   let sa = site a in
                   (* The five filters, in the paper's order; the first to
@@ -127,7 +134,7 @@ let analyze ~options ~scratch ~cfg ?obs (f : Ir.func) : analysis =
                     then Some Obs.Filter_sibling_phi
                     else if
                       (* 5. two arguments defined in the same block *)
-                      Hashtbl.mem seen_blocks sa.Interference.block
+                      seen_stamp.(sa.Interference.block) = stamp
                     then Some Obs.Filter_same_block_args
                     else None
                   in
@@ -138,12 +145,13 @@ let analyze ~options ~scratch ~cfg ?obs (f : Ir.func) : analysis =
                   | None ->
                     ignore (Union_find.union uf d a);
                     oincr Obs.Phi_args_unioned;
-                    Hashtbl.replace seen_blocks sa.Interference.block ()
+                    seen_stamp.(sa.Interference.block) <- stamp
                 end)
             p.args;
           processed_dsts := d :: !processed_dsts)
         b.phis)
     (Cfg.reverse_postorder cfg);
+  Scratch.release_int_array scratch seen_stamp;
   (* Phase 2 — materialize the congruence classes. *)
   let groups = Union_find.groups uf in
   let detached = Array.make f.nregs false in
@@ -156,22 +164,25 @@ let analyze ~options ~scratch ~cfg ?obs (f : Ir.func) : analysis =
   List.iter
     (fun (_, members) -> List.iter (fun m -> in_group.(m) <- true) members)
     groups;
+  (* [seen_root.(root) = label] stamps a class as already represented by a
+     φ target in this block — a dense stand-in for a per-block table. *)
+  let seen_root = Scratch.acquire_int_array scratch f.nregs (-1) in
   Array.iter
     (fun (b : Ir.block) ->
-      let seen = Hashtbl.create 4 in
       List.iter
         (fun (p : Ir.phi) ->
           if in_group.(p.dst) then begin
             let root = Union_find.find uf p.dst in
-            if Hashtbl.mem seen root then begin
+            if seen_root.(root) = b.label then begin
               detached.(p.dst) <- true;
               incr rename_detached;
               oincr Obs.Rename_detaches
             end
-            else Hashtbl.add seen root ()
+            else seen_root.(root) <- b.label
           end)
         b.phis)
     f.blocks;
+  Scratch.release_int_array scratch seen_root;
   (* Phase 3 — dominance forests and the Figure-2 walk. *)
   let dbg = Sys.getenv_opt "COALESCE_DEBUG" <> None in
   let forest_detached = ref 0 in
@@ -277,12 +288,15 @@ let analyze ~options ~scratch ~cfg ?obs (f : Ir.func) : analysis =
       (fun (c : DF.node) -> (not detached.(c.var)) || has_attached_descendant c)
       n.children
   in
+  let local_buf = Scratch.acquire_bitset scratch f.nregs in
   List.iter
     (fun (pvar, (c : DF.node)) ->
       if (not detached.(pvar)) && not detached.(c.var) then begin
         let at = { Interference.block = c.block; index = c.def_index } in
         oincr Obs.Local_interference_checks;
-        let hit = Interference.live_just_after f live ~reg:pvar ~at in
+        let hit =
+          Interference.live_just_after ~into:local_buf f live ~reg:pvar ~at
+        in
         if dbg then
           Printf.eprintf "local %s vs %s(b%d,%d): %b\n" (Ir.reg_name f pvar)
             (Ir.reg_name f c.var) c.block c.def_index hit;
@@ -301,6 +315,7 @@ let analyze ~options ~scratch ~cfg ?obs (f : Ir.func) : analysis =
         end
       end)
     (List.rev !local_pairs);
+  Scratch.release_bitset scratch local_buf;
   (* Phase 5 — renaming (Section 3.5): one name per class. *)
   let rename = Array.init f.nregs (fun r -> r) in
   let final_classes = ref [] in
@@ -376,13 +391,16 @@ let rewrite ~cfg ?obs (f : Ir.func) (a : analysis) =
                 let src = rename_op op in
                 if src <> Ir.Reg d then begin
                   let move = { Ssa.Parallel_copy.dst = d; src } in
-                  match Cfg.succs cfg pl with
-                  | [ _ ] -> at_end.(pl) <- move :: at_end.(pl)
-                  | _ ->
+                  if Cfg.num_succs cfg pl = 1 then
+                    at_end.(pl) <- move :: at_end.(pl)
+                  else begin
                     (* pl branches; the edge is non-critical, so b has a
                        single predecessor and the copy can sit at b's top. *)
-                    assert (Cfg.preds cfg b.label = [ pl ]);
+                    assert (
+                      Cfg.num_preds cfg b.label = 1
+                      && Cfg.pred cfg b.label 0 = pl);
                     at_start.(b.label) <- move :: at_start.(b.label)
+                  end
                 end
                 else
                   (* Coalescing made this φ-edge position a no-op — the

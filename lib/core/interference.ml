@@ -30,27 +30,34 @@ let def_sites (f : Ir.func) =
     f.blocks;
   sites
 
-let live_just_after (f : Ir.func) live ~reg ~at =
+let live_just_after ?into (f : Ir.func) live ~reg ~at =
   let b = f.blocks.(at.block) in
-  let set = Bitset.copy (Liveness.live_out live at.block) in
+  let set =
+    match into with
+    | Some s ->
+      Bitset.blit ~src:(Liveness.live_out live at.block) ~dst:s;
+      s
+    | None -> Bitset.copy (Liveness.live_out live at.block)
+  in
   List.iter (Bitset.add set) (Ir.term_uses b.term);
-  (* Walk the body bottom-up; stop when we reach the definition point. *)
-  let rec walk instrs =
+  (* Walk the body bottom-up by applying each instruction's transfer on the
+     way back out of the recursion; [walk] returns true once the definition
+     point has been reached, which stops further transfers. *)
+  let rec walk i instrs =
     match instrs with
-    | [] ->
-      (* Reached the top of the body: the φ/parameter point. *)
-      assert (at.index = -1);
-      Bitset.mem set reg
-    | (i, instr) :: rest ->
-      if i = at.index then Bitset.mem set reg
+    | [] -> false (* top of the body: the φ/parameter point *)
+    | instr :: rest ->
+      if walk (i + 1) rest then true
+      else if i = at.index then true
       else begin
         Option.iter (Bitset.remove set) (Ir.def instr);
         List.iter (Bitset.add set) (Ir.uses instr);
-        walk rest
+        false
       end
   in
-  let indexed = List.mapi (fun i instr -> (i, instr)) b.body in
-  walk (List.rev indexed)
+  let stopped = walk 0 b.body in
+  assert (stopped || at.index = -1);
+  Bitset.mem set reg
 
 let precise (f : Ir.func) dom live sites v1 v2 =
   if v1 = v2 then false

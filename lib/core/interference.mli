@@ -18,11 +18,14 @@ val def_sites : Ir.func -> def_site option array
     definitions (SSA). *)
 
 val live_just_after :
+  ?into:Support.Bitset.t ->
   Ir.func -> Analysis.Liveness.t -> reg:Ir.reg -> at:def_site -> bool
 (** Is [reg] live immediately after the given definition point? For a φ/
     parameter site ([index = -1]) the point is "after all φ definitions at
     the top of the block". Implemented as a backward walk from the block's
-    live-out — the Section 3.4 local check. *)
+    live-out — the Section 3.4 local check. [?into] supplies a reusable
+    working bitset (capacity = the function's register count, contents
+    clobbered), making the query allocation-free on hot paths. *)
 
 val precise :
   Ir.func ->

@@ -1,78 +1,92 @@
 type t = {
   entry : Mir.label;
-  succs : Mir.label list array;
-  preds : Mir.label list array;
+  succs : Support.Csr.t; (* rows for every block, terminator order, deduped *)
+  preds : Support.Csr.t; (* edges from reachable sources only, increasing order *)
   reachable : bool array;
   postorder : Mir.label array;
+  rpo : Mir.label array;
+  postorder_index : int array; (* position in [postorder]; -1 if unreachable *)
 }
-
-let dedup_keep_order l =
-  let seen = Hashtbl.create 4 in
-  List.filter
-    (fun x ->
-      if Hashtbl.mem seen x then false
-      else begin
-        Hashtbl.add seen x ();
-        true
-      end)
-    l
 
 let of_func (f : Mir.func) =
   let n = Mir.num_blocks f in
-  let succs =
-    Array.init n (fun l -> dedup_keep_order (Mir.successors f.blocks.(l).term))
-  in
-  let preds = Array.make n [] in
-  let reachable = Array.make n false in
-  let order = Support.Vec.create () in
-  (* Iterative DFS producing a postorder; the explicit stack carries the
-     list of successors still to visit for each open node. *)
-  let stack = ref [ (f.entry, succs.(f.entry)) ] in
-  reachable.(f.entry) <- true;
-  while !stack <> [] do
-    match !stack with
+  (* A terminator has at most two successors, so dedup is one comparison. *)
+  let emit_succs emit l =
+    match Mir.successors f.blocks.(l).term with
     | [] -> ()
-    | (l, todo) :: rest -> (
-      match todo with
-      | [] ->
-        Support.Vec.push order l;
-        stack := rest
-      | s :: todo' ->
-        stack := (l, todo') :: rest;
-        if not reachable.(s) then begin
-          reachable.(s) <- true;
-          stack := (s, succs.(s)) :: !stack
-        end)
+    | [ s ] -> emit ~src:l ~dst:s
+    | [ a; b ] ->
+      emit ~src:l ~dst:a;
+      if b <> a then emit ~src:l ~dst:b
+    | ss -> List.iter (fun s -> emit ~src:l ~dst:s) (List.sort_uniq compare ss)
+  in
+  let succs =
+    Support.Csr.build ~num_nodes:n (fun emit ->
+        for l = 0 to n - 1 do
+          emit_succs emit l
+        done)
+  in
+  let reachable = Array.make n false in
+  let order = Array.make n 0 in
+  let order_len = ref 0 in
+  (* Iterative DFS producing a postorder; the explicit stack pairs each
+     open node with a cursor into its CSR successor row. *)
+  let stack_node = Array.make n 0 in
+  let stack_next = Array.make n 0 in
+  let sp = ref 0 in
+  let push l =
+    reachable.(l) <- true;
+    stack_node.(!sp) <- l;
+    stack_next.(!sp) <- 0;
+    incr sp
+  in
+  push f.entry;
+  while !sp > 0 do
+    let top = !sp - 1 in
+    let l = stack_node.(top) in
+    let i = stack_next.(top) in
+    if i < Support.Csr.degree succs l then begin
+      stack_next.(top) <- i + 1;
+      let s = Support.Csr.get succs l i in
+      if not reachable.(s) then push s
+    end
+    else begin
+      decr sp;
+      order.(!order_len) <- l;
+      incr order_len
+    end
   done;
-  for l = 0 to n - 1 do
-    if reachable.(l) then
-      List.iter (fun s -> preds.(s) <- l :: preds.(s)) succs.(l)
-  done;
-  for l = 0 to n - 1 do
-    preds.(l) <- List.sort_uniq compare preds.(l)
-  done;
-  { entry = f.entry; succs; preds; reachable; postorder = Support.Vec.to_array order }
+  let postorder = Array.sub order 0 !order_len in
+  let rpo =
+    Array.init !order_len (fun i -> postorder.(!order_len - 1 - i))
+  in
+  let postorder_index = Array.make n (-1) in
+  Array.iteri (fun i l -> postorder_index.(l) <- i) postorder;
+  (* Emitting reversed edges in increasing source order leaves each pred
+     row sorted increasing (succ rows are already deduped). *)
+  let preds =
+    Support.Csr.build ~num_nodes:n (fun emit ->
+        for l = 0 to n - 1 do
+          if reachable.(l) then
+            Support.Csr.iter_row succs l (fun s -> emit ~src:s ~dst:l)
+        done)
+  in
+  { entry = f.entry; succs; preds; reachable; postorder; rpo; postorder_index }
 
-let succs t l = t.succs.(l)
-let preds t l = t.preds.(l)
+let num_succs t l = Support.Csr.degree t.succs l
+let num_preds t l = Support.Csr.degree t.preds l
+let succ t l i = Support.Csr.get t.succs l i
+let pred t l i = Support.Csr.get t.preds l i
+let iter_succs t l f = Support.Csr.iter_row t.succs l f
+let iter_preds t l f = Support.Csr.iter_row t.preds l f
+let fold_succs t l f init = Support.Csr.fold_row t.succs l f init
+let fold_preds t l f init = Support.Csr.fold_row t.preds l f init
+let succs_list t l = Support.Csr.row_list t.succs l
+let preds_list t l = Support.Csr.row_list t.preds l
 let reachable t l = t.reachable.(l)
 let postorder t = t.postorder
-
-let reverse_postorder t =
-  let a = Array.copy t.postorder in
-  let n = Array.length a in
-  for i = 0 to (n / 2) - 1 do
-    let tmp = a.(i) in
-    a.(i) <- a.(n - 1 - i);
-    a.(n - 1 - i) <- tmp
-  done;
-  a
-
-let num_blocks t = Array.length t.succs
+let reverse_postorder t = t.rpo
+let postorder_index t l = t.postorder_index.(l)
+let num_blocks t = Array.length t.reachable
 let entry t = t.entry
-
-let num_edges t =
-  Array.fold_left ( + ) 0
-    (Array.mapi
-       (fun l ss -> if t.reachable.(l) then List.length ss else 0)
-       t.succs)
+let num_edges t = Support.Csr.num_edges t.preds

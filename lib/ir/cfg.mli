@@ -1,26 +1,63 @@
 (** Derived control-flow-graph structure for a function.
 
-    All analyses need predecessor lists and depth-first orders; this module
-    computes them once so passes can share them. Labels not reachable from
-    the entry keep empty predecessor lists and are excluded from the orders. *)
+    All analyses need predecessor/successor queries and depth-first orders;
+    this module computes them once in {!of_func} so passes share them.
+    Adjacency is stored CSR-style ([Support.Csr]): every query below is an
+    array read and no query allocates, except the [_list] accessors which
+    exist for tests and cold paths. Labels not reachable from the entry
+    keep empty predecessor rows and are excluded from the orders. *)
 
 type t
 
 val of_func : Mir.func -> t
-(** One pass over the terminators; O(blocks + edges). *)
+(** One pass over the terminators plus a DFS; O(blocks + edges), and the
+    only allocation any later query needs. *)
 
-val succs : t -> Mir.label -> Mir.label list
-(** Distinct successors, in terminator order. *)
+val num_succs : t -> Mir.label -> int
+(** Number of distinct successors of a block. O(1). *)
 
-val preds : t -> Mir.label -> Mir.label list
-(** Distinct predecessors, in increasing label order. *)
+val num_preds : t -> Mir.label -> int
+(** Number of distinct (reachable) predecessors of a block. O(1). *)
+
+val succ : t -> Mir.label -> int -> Mir.label
+(** [succ t l i] is the [i]-th distinct successor, in terminator order. *)
+
+val pred : t -> Mir.label -> int -> Mir.label
+(** [pred t l i] is the [i]-th predecessor, in increasing label order. *)
+
+val iter_succs : t -> Mir.label -> (Mir.label -> unit) -> unit
+(** Apply to each distinct successor in terminator order; allocation-free. *)
+
+val iter_preds : t -> Mir.label -> (Mir.label -> unit) -> unit
+(** Apply to each predecessor in increasing label order; allocation-free. *)
+
+val fold_succs : t -> Mir.label -> ('a -> Mir.label -> 'a) -> 'a -> 'a
+(** Fold over distinct successors in terminator order; allocation-free. *)
+
+val fold_preds : t -> Mir.label -> ('a -> Mir.label -> 'a) -> 'a -> 'a
+(** Fold over predecessors in increasing label order; allocation-free. *)
+
+val succs_list : t -> Mir.label -> Mir.label list
+(** Distinct successors in terminator order, as a fresh list. Allocates —
+    for tests and cold paths; hot code uses {!iter_succs}. *)
+
+val preds_list : t -> Mir.label -> Mir.label list
+(** Distinct predecessors in increasing label order, as a fresh list.
+    Allocates — for tests and cold paths; hot code uses {!iter_preds}. *)
 
 val reachable : t -> Mir.label -> bool
+(** Whether the block is reachable from the entry. *)
 
 val postorder : t -> Mir.label array
-(** Reachable labels in a depth-first postorder from the entry. *)
+(** Reachable labels in a depth-first postorder from the entry. The array
+    is owned by [t]: callers must not mutate it. *)
 
 val reverse_postorder : t -> Mir.label array
+(** {!postorder} reversed, precomputed once. The array is owned by [t]:
+    callers must not mutate it. *)
+
+val postorder_index : t -> Mir.label -> int
+(** Position of a label in {!postorder}, or -1 if unreachable. O(1). *)
 
 val num_blocks : t -> int
 (** Same as the function's block count (unreachable blocks included). *)
@@ -29,4 +66,4 @@ val entry : t -> Mir.label
 (** The function's entry label. *)
 
 val num_edges : t -> int
-(** Number of CFG edges between reachable blocks. *)
+(** Number of CFG edges between reachable blocks. O(1). *)

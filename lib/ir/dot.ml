@@ -66,7 +66,7 @@ let dominator_tree (f : Mir.func) =
       (fun b ->
         if b <> f.entry && Cfg.reachable cfg_t b then begin
           let inter =
-            match Cfg.preds cfg_t b with
+            match Cfg.preds_list cfg_t b with
             | [] -> all
             | p :: ps ->
               List.fold_left
@@ -102,7 +102,7 @@ let dominator_tree (f : Mir.func) =
           (fun s ->
             Buffer.add_string buf
               (Printf.sprintf "  b%d -> b%d [style=dashed, color=gray];\n" b s))
-          (Cfg.succs cfg_t b)
+          (Cfg.succs_list cfg_t b)
       end)
     all;
   Buffer.add_string buf "}\n";

@@ -1,5 +1,5 @@
 let is_critical cfg ~src ~dst =
-  List.length (Cfg.succs cfg src) > 1 && List.length (Cfg.preds cfg dst) > 1
+  Cfg.num_succs cfg src > 1 && Cfg.num_preds cfg dst > 1
 
 let critical_edges_in cfg (f : Mir.func) =
   let edges = ref [] in
@@ -8,11 +8,9 @@ let critical_edges_in cfg (f : Mir.func) =
       if Cfg.reachable cfg b.label then
         (* Distinct successor pairs only: a conditional branch with both arms
            on the same target is one edge for φ purposes. *)
-        List.iter
-          (fun s ->
+        Cfg.iter_succs cfg b.label (fun s ->
             if is_critical cfg ~src:b.label ~dst:s then
-              edges := (b.label, s) :: !edges)
-          (Cfg.succs cfg b.label))
+              edges := (b.label, s) :: !edges))
     f.blocks;
   List.rev !edges
 

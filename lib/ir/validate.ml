@@ -47,7 +47,7 @@ let structure (f : Mir.func) =
       f.blocks;
     if !errors = [] then begin
       let cfg = Cfg.of_func f in
-      if Cfg.preds cfg f.entry <> [] then
+      if Cfg.num_preds cfg f.entry > 0 then
         add (err f.name "entry block b%d has predecessors" f.entry);
       if f.blocks.(f.entry).phis <> [] then
         add (err f.name "entry block b%d has phi-nodes" f.entry);
@@ -55,7 +55,7 @@ let structure (f : Mir.func) =
         (fun (b : Mir.block) ->
           if Cfg.reachable cfg b.label then begin
             let where = Printf.sprintf "%s/b%d" f.name b.label in
-            let preds = Cfg.preds cfg b.label in
+            let preds = Cfg.preds_list cfg b.label in
             List.iter
               (fun (p : Mir.phi) ->
                 let arg_labels = List.map fst p.args in
@@ -112,13 +112,14 @@ let strictness (f : Mir.func) =
         (fun l ->
           let inb =
             if l = f.entry then Bitset.copy entry_in
-            else
-              match Cfg.preds cfg l with
-              | [] -> Bitset.create f.nregs
-              | p :: ps ->
-                let acc = Bitset.copy out.(p) in
-                List.iter (fun q -> Bitset.inter_into ~dst:acc out.(q)) ps;
-                acc
+            else if Cfg.num_preds cfg l = 0 then Bitset.create f.nregs
+            else begin
+              let acc = Bitset.copy out.(Cfg.pred cfg l 0) in
+              for i = 1 to Cfg.num_preds cfg l - 1 do
+                Bitset.inter_into ~dst:acc out.(Cfg.pred cfg l i)
+              done;
+              acc
+            end
           in
           ignore (Bitset.union_into ~dst:inb gen.(l));
           if not (Bitset.equal inb out.(l)) then begin
@@ -134,13 +135,14 @@ let strictness (f : Mir.func) =
         let where = Printf.sprintf "%s/b%d" f.name l in
         let live =
           if l = f.entry then Bitset.copy entry_in
-          else
-            match Cfg.preds cfg l with
-            | [] -> Bitset.create f.nregs
-            | p :: ps ->
-              let acc = Bitset.copy out.(p) in
-              List.iter (fun q -> Bitset.inter_into ~dst:acc out.(q)) ps;
-              acc
+          else if Cfg.num_preds cfg l = 0 then Bitset.create f.nregs
+          else begin
+            let acc = Bitset.copy out.(Cfg.pred cfg l 0) in
+            for i = 1 to Cfg.num_preds cfg l - 1 do
+              Bitset.inter_into ~dst:acc out.(Cfg.pred cfg l i)
+            done;
+            acc
+          end
         in
         List.iter (fun (p : Mir.phi) -> Bitset.add live p.dst) b.phis;
         List.iter
@@ -160,8 +162,7 @@ let strictness (f : Mir.func) =
                      (Mir.reg_name f r)))
           (Mir.term_uses b.term);
         (* φ arguments of successors are uses at the end of this block. *)
-        List.iter
-          (fun s ->
+        Cfg.iter_succs cfg l (fun s ->
             List.iter
               (fun (p : Mir.phi) ->
                 List.iter
@@ -175,8 +176,7 @@ let strictness (f : Mir.func) =
                                    (Mir.reg_name f r) (Mir.reg_name f p.dst) s))
                         (Mir.operand_uses op))
                   p.args)
-              f.blocks.(s).phis)
-          (Cfg.succs cfg l))
+              f.blocks.(s).phis))
       (Cfg.reverse_postorder cfg);
     List.rev !errors
   end

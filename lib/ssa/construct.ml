@@ -43,20 +43,23 @@ let run ?(pruning = Pruned) ?(fold_copies = true) ?obs (f : Ir.func) =
     match pruning with
     | Minimal -> fun _v _l -> true
     | Semi_pruned ->
-      (* Non-local names: upward-exposed in some block. *)
+      (* Non-local names: upward-exposed in some block. [killed.(u) = l]
+         stamps u as defined earlier in block l — a dense stand-in for a
+         per-block kill table. *)
       let nonlocal = Array.make f.nregs false in
+      let killed = Array.make f.nregs (-1) in
       Array.iter
         (fun (b : Ir.block) ->
-          let killed = Hashtbl.create 8 in
+          let l = b.label in
           List.iter
             (fun i ->
               List.iter
-                (fun u -> if not (Hashtbl.mem killed u) then nonlocal.(u) <- true)
+                (fun u -> if killed.(u) <> l then nonlocal.(u) <- true)
                 (Ir.uses i);
-              Option.iter (fun d -> Hashtbl.replace killed d ()) (Ir.def i))
+              Option.iter (fun d -> killed.(d) <- l) (Ir.def i))
             b.body;
           List.iter
-            (fun u -> if not (Hashtbl.mem killed u) then nonlocal.(u) <- true)
+            (fun u -> if killed.(u) <> l then nonlocal.(u) <- true)
             (Ir.term_uses b.term))
         f.blocks;
       fun v _l -> nonlocal.(v)
@@ -64,16 +67,10 @@ let run ?(pruning = Pruned) ?(fold_copies = true) ?obs (f : Ir.func) =
       let live = Liveness.compute ?obs f cfg in
       fun v l -> Liveness.live_in_mem live l v
   in
-  (* Iterated dominance frontier: standard worklist per variable. *)
-  let phi_at : (Ir.label, proto_phi list ref) Hashtbl.t = Hashtbl.create 16 in
-  let phis_of l =
-    match Hashtbl.find_opt phi_at l with
-    | Some r -> r
-    | None ->
-      let r = ref [] in
-      Hashtbl.add phi_at l r;
-      r
-  in
+  (* Iterated dominance frontier: standard worklist per variable. The
+     pending φs live in a label-indexed array — labels are dense ids. *)
+  let phi_at : proto_phi list ref array = Array.init n (fun _ -> ref []) in
+  let phis_of l = phi_at.(l) in
   let phis_inserted = ref 0 in
   for v = 0 to f.nregs - 1 do
     if not (Iset.is_empty def_blocks.(v)) then begin
@@ -182,12 +179,10 @@ let run ?(pruning = Pruned) ?(fold_copies = true) ?obs (f : Ir.func) =
     new_body.(l) <- body;
     new_term.(l) <- Ir.map_term_uses (fun r -> current r) b.term;
     (* Fill φ arguments of CFG successors for the edge from this block. *)
-    List.iter
-      (fun s ->
+    Cfg.iter_succs cfg l (fun s ->
         List.iter
           (fun (pp : proto_phi) -> pp.filled <- (l, current pp.var) :: pp.filled)
-          !(phis_of s))
-      (Cfg.succs cfg l);
+          !(phis_of s));
     List.iter rename (Dominance.children dom l);
     List.iter
       (fun v ->

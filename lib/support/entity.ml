@@ -1,0 +1,51 @@
+module Id = struct
+  type t = int
+
+  let none = -1
+  let is_none i = i < 0
+  let is_some i = i >= 0
+  let equal (a : int) (b : int) = a = b
+  let compare (a : int) (b : int) = compare a b
+  let pp ppf i = if is_none i then Format.pp_print_char ppf '-' else Format.pp_print_int ppf i
+end
+
+module Secondary_map = struct
+  type 'a t = {
+    mutable data : 'a array;
+    mutable len : int; (* written frontier: one past the largest id set *)
+    default : 'a;
+  }
+
+  let create ?(capacity = 0) ~default () =
+    { data = (if capacity = 0 then [||] else Array.make capacity default);
+      len = 0;
+      default }
+
+  let get t i = if i < t.len then t.data.(i) else t.default
+
+  let grow t n =
+    if n > Array.length t.data then begin
+      let cap = max n (max 8 (2 * Array.length t.data)) in
+      let data = Array.make cap t.default in
+      Array.blit t.data 0 data 0 t.len;
+      t.data <- data
+    end
+
+  let set t i x =
+    if i < 0 then invalid_arg "Secondary_map.set: negative id";
+    grow t (i + 1);
+    t.data.(i) <- x;
+    if i >= t.len then t.len <- i + 1
+
+  let update t i f = set t i (f (get t i))
+  let length t = t.len
+
+  let clear t =
+    Array.fill t.data 0 t.len t.default;
+    t.len <- 0
+
+  let iteri t f =
+    for i = 0 to t.len - 1 do
+      f i t.data.(i)
+    done
+end

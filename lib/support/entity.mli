@@ -1,0 +1,70 @@
+(** Entity-indexed dense storage: the convention that registers, labels and
+    every other compiler entity are small dense integers, plus the flat maps
+    that convention buys.
+
+    The analyses in this repository never key a hash table by an entity:
+    an entity id {e is} an array index (the style of cranelift's
+    [entity] crate — see SNIPPETS.md §2–3). {!Id} documents the id
+    convention and its sentinel; {!Secondary_map} attaches values to
+    entities of an open-ended range, growing on write and answering a
+    default beyond the written frontier, so callers need not know the
+    entity count up front. Fixed-range per-entity data should use plain
+    arrays (or {!Csr} for adjacency); [Secondary_map] is for tables that
+    grow as entities are minted. *)
+
+module Id : sig
+  type t = int
+  (** An entity id: a dense non-negative integer minted in allocation
+      order. [Ir.reg] and [Ir.label] follow this convention. *)
+
+  val none : t
+  (** The sentinel (-1): "no entity". Dense int arrays use it instead of
+      boxing into [option]. *)
+
+  val is_none : t -> bool
+  (** [is_none i] iff [i] is the {!none} sentinel. *)
+
+  val is_some : t -> bool
+  (** [is_some i] iff [i] names a real entity (is non-negative). *)
+
+  val equal : t -> t -> bool
+  (** Integer equality. *)
+
+  val compare : t -> t -> int
+  (** Allocation order. *)
+
+  val pp : Format.formatter -> t -> unit
+  (** Prints the raw index, or [-] for {!none}. *)
+end
+
+module Secondary_map : sig
+  type 'a t
+  (** A growable dense map from entity ids to ['a]: flat array storage,
+      O(1) unboxed access, every id mapped to [default] until written. *)
+
+  val create : ?capacity:int -> default:'a -> unit -> 'a t
+  (** [create ~default ()] maps every id to [default]. [capacity] presizes
+      the backing store. *)
+
+  val get : 'a t -> Id.t -> 'a
+  (** [get m i] is the last value set for [i], or the default if [i] was
+      never written. Never grows the map. *)
+
+  val set : 'a t -> Id.t -> 'a -> unit
+  (** [set m i x] maps [i] to [x], growing the backing store (filled with
+      the default) when [i] is beyond it. Amortized O(1). *)
+
+  val update : 'a t -> Id.t -> ('a -> 'a) -> unit
+  (** [update m i f] is [set m i (f (get m i))]. *)
+
+  val length : 'a t -> int
+  (** One past the largest id ever written (the written frontier). *)
+
+  val clear : 'a t -> unit
+  (** Reset every written cell to the default, keeping the backing store
+      for reuse. O(written frontier). *)
+
+  val iteri : 'a t -> (Id.t -> 'a -> unit) -> unit
+  (** Apply to every id below the written frontier, in id order (defaults
+      included). *)
+end

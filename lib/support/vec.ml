@@ -27,6 +27,18 @@ let push t x =
   t.data.(t.len) <- x;
   t.len <- t.len + 1
 
+let clear t = t.len <- 0
+
+let capacity t = Array.length t.data
+
+let ensure_capacity t ~dummy n =
+  if n > Array.length t.data then begin
+    let cap = max n (max 8 (2 * Array.length t.data)) in
+    let data = Array.make cap dummy in
+    Array.blit t.data 0 data 0 t.len;
+    t.data <- data
+  end
+
 let to_array t = Array.sub t.data 0 t.len
 let to_list t = Array.to_list (to_array t)
 

@@ -18,6 +18,19 @@ val set : 'a t -> int -> 'a -> unit
 val push : 'a t -> 'a -> unit
 (** Append one element, growing the backing store amortized O(1). *)
 
+val clear : 'a t -> unit
+(** Forget the elements but keep the backing store, so a recycled vector
+    (e.g. one parked in a scratch arena) pushes without reallocating.
+    Previously pushed elements stay reachable until overwritten. *)
+
+val capacity : 'a t -> int
+(** Size of the backing store ([length] ≤ [capacity]). *)
+
+val ensure_capacity : 'a t -> dummy:'a -> int -> unit
+(** [ensure_capacity v ~dummy n] grows the backing store to hold at least
+    [n] elements ([dummy] fills the unused cells), so a known-size workload
+    pays one allocation up front instead of O(log n) doublings. *)
+
 val to_array : 'a t -> 'a array
 (** A fresh array of the elements in index order. *)
 

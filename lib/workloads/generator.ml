@@ -175,3 +175,177 @@ let generate cfg =
   { Frontend.Ast.name; params = [ "n"; "a" ]; body = preamble @ body @ checksum }
 
 let generate_ir cfg = fst (Frontend.Lower.lower (generate cfg))
+
+(* ------------------------------------------------------------------ *)
+(* Adversarial CFG shapes                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Raw-IR families built directly with Ir.Builder: the structured AST
+   generator only produces reducible, shallowly-joined graphs, so it can
+   never trigger the O(n²) tail of the iterative dominator algorithm.
+   Each family is strict (every use definitely assigned: condition
+   registers are defined in the branching block itself, counters on every
+   path to their loop header) and terminates under the interpreter (the
+   only cycles are bounded counter loops). *)
+
+type shape = Comb | Skewed_ladder | Dense_diamonds | Deep_loop_nest
+
+let shape_name = function
+  | Comb -> "comb"
+  | Skewed_ladder -> "skewed_ladder"
+  | Dense_diamonds -> "dense_diamonds"
+  | Deep_loop_nest -> "deep_loop_nest"
+
+let shapes = [ Comb; Skewed_ladder; Dense_diamonds; Deep_loop_nest ]
+
+(* acc := acc + k *)
+let bump b l acc k =
+  Ir.Builder.push b l
+    (Ir.Binop { op = Ir.Add; dst = acc; l = Ir.Reg acc; r = Ir.Const (Ir.Int k) })
+
+(* Mint and define a fresh condition register in [l] itself, so strictness
+   holds no matter where [l] sits in the graph. *)
+let cond_in b l acc =
+  let c = Ir.Builder.fresh_reg ~name:"c" b in
+  Ir.Builder.push b l
+    (Ir.Binop { op = Ir.Lt; dst = c; l = Ir.Reg acc; r = Ir.Const (Ir.Int 1) });
+  Ir.Reg c
+
+(* Two deep rails a/b plus a flat chain of rung joins; every join is
+   reached from both rails, so its idom is the entry while its rail
+   predecessors sit i deep in the dominator tree — the CHK intersect walk
+   pays O(i) per rung, O(n²) overall. *)
+let build_comb n =
+  let b = Ir.Builder.create (Printf.sprintf "comb%d" n) in
+  let entry = Ir.Builder.add_block b in
+  let acc = Ir.Builder.fresh_reg ~name:"acc" b in
+  Ir.Builder.push b entry (Ir.Copy { dst = acc; src = Ir.Const (Ir.Int 0) });
+  let ra = Array.init n (fun _ -> Ir.Builder.add_block b) in
+  let rb = Array.init n (fun _ -> Ir.Builder.add_block b) in
+  let j = Array.init n (fun _ -> Ir.Builder.add_block b) in
+  let exit_b = Ir.Builder.add_block b in
+  let ce = cond_in b entry acc in
+  Ir.Builder.terminate b entry
+    (Ir.Branch { cond = ce; if_true = ra.(0); if_false = rb.(0) });
+  for i = 0 to n - 1 do
+    bump b ra.(i) acc 1;
+    bump b rb.(i) acc 2;
+    let ca = cond_in b ra.(i) acc in
+    let cb = cond_in b rb.(i) acc in
+    let next_a = if i + 1 < n then ra.(i + 1) else j.(n - 1) in
+    let next_b = if i + 1 < n then rb.(i + 1) else j.(n - 1) in
+    Ir.Builder.terminate b ra.(i)
+      (Ir.Branch { cond = ca; if_true = next_a; if_false = j.(i) });
+    Ir.Builder.terminate b rb.(i)
+      (Ir.Branch { cond = cb; if_true = next_b; if_false = j.(i) });
+    Ir.Builder.terminate b j.(i)
+      (Ir.Jump (if i + 1 < n then j.(i + 1) else exit_b))
+  done;
+  Ir.Builder.terminate b exit_b (Ir.Return (Some (Ir.Reg acc)));
+  Ir.Builder.finish b
+
+(* One deep rail, one flat join chain: join i's predecessors are the
+   (flat-dominated) previous join and a rail block i deep — the skew that
+   makes each CHK intersect walk the whole rail. *)
+let build_skewed_ladder n =
+  let b = Ir.Builder.create (Printf.sprintf "skewed_ladder%d" n) in
+  let entry = Ir.Builder.add_block b in
+  let acc = Ir.Builder.fresh_reg ~name:"acc" b in
+  Ir.Builder.push b entry (Ir.Copy { dst = acc; src = Ir.Const (Ir.Int 0) });
+  let d = Array.init n (fun _ -> Ir.Builder.add_block b) in
+  let j = Array.init n (fun _ -> Ir.Builder.add_block b) in
+  let exit_b = Ir.Builder.add_block b in
+  let ce = cond_in b entry acc in
+  Ir.Builder.terminate b entry
+    (Ir.Branch { cond = ce; if_true = d.(0); if_false = j.(0) });
+  for i = 0 to n - 1 do
+    bump b d.(i) acc 1;
+    (if i + 1 < n then begin
+       let c = cond_in b d.(i) acc in
+       Ir.Builder.terminate b d.(i)
+         (Ir.Branch { cond = c; if_true = d.(i + 1); if_false = j.(i + 1) })
+     end
+     else Ir.Builder.terminate b d.(i) (Ir.Jump exit_b));
+    Ir.Builder.terminate b j.(i)
+      (Ir.Jump (if i + 1 < n then j.(i + 1) else exit_b))
+  done;
+  Ir.Builder.terminate b exit_b (Ir.Return (Some (Ir.Reg acc)));
+  Ir.Builder.finish b
+
+(* A chain of 4-wide diamonds (a branch tree two deep fanning into four
+   leaves that re-join): every stage boundary is a dense join, stressing
+   frontier construction and the liveness meet. *)
+let build_dense_diamonds n =
+  let b = Ir.Builder.create (Printf.sprintf "dense_diamonds%d" n) in
+  let heads = Array.init (n + 1) (fun _ -> Ir.Builder.add_block b) in
+  let acc = Ir.Builder.fresh_reg ~name:"acc" b in
+  Ir.Builder.push b heads.(0) (Ir.Copy { dst = acc; src = Ir.Const (Ir.Int 0) });
+  for i = 0 to n - 1 do
+    let m1 = Ir.Builder.add_block b and m2 = Ir.Builder.add_block b in
+    let leaves = Array.init 4 (fun _ -> Ir.Builder.add_block b) in
+    let ch = cond_in b heads.(i) acc in
+    Ir.Builder.terminate b heads.(i)
+      (Ir.Branch { cond = ch; if_true = m1; if_false = m2 });
+    let c1 = cond_in b m1 acc in
+    Ir.Builder.terminate b m1
+      (Ir.Branch { cond = c1; if_true = leaves.(0); if_false = leaves.(1) });
+    let c2 = cond_in b m2 acc in
+    Ir.Builder.terminate b m2
+      (Ir.Branch { cond = c2; if_true = leaves.(2); if_false = leaves.(3) });
+    Array.iteri
+      (fun k leaf ->
+        bump b leaf acc (k + 1);
+        Ir.Builder.terminate b leaf (Ir.Jump heads.(i + 1)))
+      leaves
+  done;
+  Ir.Builder.terminate b heads.(n) (Ir.Return (Some (Ir.Reg acc)));
+  Ir.Builder.finish b
+
+(* Loops nested [depth] deep, two trips each: the dominator tree is one
+   long spine and every header is a join with a back edge — deep idom
+   chains for CHK, deep forest paths for the DSU solver's links. 2^depth
+   innermost iterations, so keep depth modest where the result is run. *)
+let build_deep_loop_nest depth =
+  let b = Ir.Builder.create (Printf.sprintf "deep_loop_nest%d" depth) in
+  let entry = Ir.Builder.add_block b in
+  let acc = Ir.Builder.fresh_reg ~name:"acc" b in
+  Ir.Builder.push b entry (Ir.Copy { dst = acc; src = Ir.Const (Ir.Int 0) });
+  let v = Array.init depth (fun i -> Ir.Builder.fresh_reg ~name:(Printf.sprintf "v%d" i) b) in
+  let heads = Array.init depth (fun _ -> Ir.Builder.add_block b) in
+  let bodies = Array.init depth (fun _ -> Ir.Builder.add_block b) in
+  let exits = Array.init depth (fun _ -> Ir.Builder.add_block b) in
+  Ir.Builder.push b entry (Ir.Copy { dst = v.(0); src = Ir.Const (Ir.Int 0) });
+  Ir.Builder.terminate b entry (Ir.Jump heads.(0));
+  for i = 0 to depth - 1 do
+    let c = Ir.Builder.fresh_reg ~name:"c" b in
+    Ir.Builder.push b heads.(i)
+      (Ir.Binop { op = Ir.Lt; dst = c; l = Ir.Reg v.(i); r = Ir.Const (Ir.Int 2) });
+    Ir.Builder.terminate b heads.(i)
+      (Ir.Branch { cond = Ir.Reg c; if_true = bodies.(i); if_false = exits.(i) });
+    if i + 1 < depth then begin
+      Ir.Builder.push b bodies.(i)
+        (Ir.Copy { dst = v.(i + 1); src = Ir.Const (Ir.Int 0) });
+      Ir.Builder.terminate b bodies.(i) (Ir.Jump heads.(i + 1))
+    end
+    else begin
+      bump b bodies.(i) acc 1;
+      Ir.Builder.push b bodies.(i)
+        (Ir.Binop { op = Ir.Add; dst = v.(i); l = Ir.Reg v.(i); r = Ir.Const (Ir.Int 1) });
+      Ir.Builder.terminate b bodies.(i) (Ir.Jump heads.(i))
+    end;
+    if i = 0 then Ir.Builder.terminate b exits.(i) (Ir.Return (Some (Ir.Reg acc)))
+    else begin
+      Ir.Builder.push b exits.(i)
+        (Ir.Binop { op = Ir.Add; dst = v.(i - 1); l = Ir.Reg v.(i - 1); r = Ir.Const (Ir.Int 1) });
+      Ir.Builder.terminate b exits.(i) (Ir.Jump heads.(i - 1))
+    end
+  done;
+  Ir.Builder.finish b
+
+let adversarial shape ~size =
+  let size = max 1 size in
+  match shape with
+  | Comb -> build_comb size
+  | Skewed_ladder -> build_skewed_ladder size
+  | Dense_diamonds -> build_dense_diamonds size
+  | Deep_loop_nest -> build_deep_loop_nest size

@@ -25,3 +25,41 @@ val generate : config -> Frontend.Ast.func
 
 val generate_ir : config -> Ir.func
 (** {!generate} followed by lowering. *)
+
+(** {1 Adversarial CFG shapes}
+
+    Raw-IR families built directly with {!Ir.Builder} rather than through
+    the AST, because the structured generator can only produce reducible,
+    shallowly-joined graphs — it never triggers the quadratic tail of the
+    iterative (CHK) dominator algorithm. All shapes are strict, validate
+    cleanly, and terminate under the interpreter. *)
+
+type shape =
+  | Comb
+      (** Two deep rails joined at every rung: each join's idom is the
+          entry while its predecessors sit ever deeper in the dominator
+          tree, so the CHK intersect walk costs O(n) per rung — O(n²)
+          overall. The DSU solver stays near-linear. *)
+  | Skewed_ladder
+      (** One deep rail feeding a flat join chain — the maximally skewed
+          intersect: one finger is always at depth ~1, the other at depth
+          ~i. *)
+  | Dense_diamonds
+      (** A chain of 4-wide diamonds (branch trees two deep re-joining):
+          dense joins that stress dominance-frontier construction and the
+          liveness meet. *)
+  | Deep_loop_nest
+      (** Loops nested [size] deep with trip count 2: one long dominator
+          spine where every header is a join with a back edge. Runs
+          2{^ size} innermost iterations, so keep [size] modest when the
+          result is interpreted. *)
+
+val shape_name : shape -> string
+(** Snake-case name used in kernel and benchmark labels. *)
+
+val shapes : shape list
+(** All adversarial shapes, in declaration order. *)
+
+val adversarial : shape -> size:int -> Ir.func
+(** Build the shape at the given size (rungs / diamonds / nesting depth;
+    clamped to at least 1). Deterministic — no randomness is involved. *)

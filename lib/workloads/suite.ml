@@ -60,6 +60,31 @@ let large () =
     large_memo := Some l;
     l
 
+let adversarial_memo = ref None
+
+(* Interpreter-friendly sizes: big enough that CHK's quadratic tail is
+   visible in the analysis bench, small enough that Deep_loop_nest's
+   2^depth iterations stay cheap. *)
+let adversarial () =
+  match !adversarial_memo with
+  | Some l -> l
+  | None ->
+    let l =
+      List.map
+        (fun (shape, size) ->
+          let f = Generator.adversarial shape ~size in
+          Ir.Validate.check_exn f;
+          { name = f.Ir.name; func = f; args = [] })
+        [
+          (Generator.Comb, 64);
+          (Generator.Skewed_ladder, 64);
+          (Generator.Dense_diamonds, 32);
+          (Generator.Deep_loop_nest, 8);
+        ]
+    in
+    adversarial_memo := Some l;
+    l
+
 let find_exn name =
   match List.find_opt (fun e -> e.name = name) (kernels ()) with
   | Some e -> e

@@ -17,4 +17,10 @@ val large : unit -> entry list
     the paper's largest Fortran routines — this is where the quadratic
     interference-graph cost separates from the linear coalescer. Memoized. *)
 
+val adversarial : unit -> entry list
+(** The {!Generator.shape} families at fixed sizes (comb and skewed ladder
+    at 64 rungs, diamonds at 32 stages, loop nest 8 deep), validated and
+    ready to interpret with no arguments. These are the degenerate-CFG
+    inputs for the dominator benchmarks. Memoized. *)
+
 val find_exn : string -> entry

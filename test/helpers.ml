@@ -167,7 +167,7 @@ let naive_dominators (f : Ir.func) =
     changed := false;
     for b = 0 to n - 1 do
       if b <> f.entry && Ir.Cfg.reachable cfg b then begin
-        let preds = Ir.Cfg.preds cfg b in
+        let preds = Ir.Cfg.preds_list cfg b in
         let inter =
           match preds with
           | [] -> all
@@ -235,7 +235,7 @@ let naive_liveness (f : Ir.func) =
       let out =
         List.sort_uniq compare
           (phi_out.(l)
-          @ List.concat_map (fun s -> live_in.(s)) (Ir.Cfg.succs cfg l))
+          @ List.concat_map (fun s -> live_in.(s)) (Ir.Cfg.succs_list cfg l))
       in
       let inb =
         List.sort_uniq compare

@@ -87,6 +87,55 @@ let prop_preorder_ancestry =
             (List.init 8 Fun.id))
         (List.init 8 Fun.id))
 
+(* Since immediate dominators are unique, idom-for-idom equality is the
+   strongest possible differential between the two solvers. *)
+let idoms_agree f cfg =
+  let chk = Analysis.Dominance.compute ~algorithm:Analysis.Dominance.Chk f cfg in
+  let dsu = Analysis.Dominance.compute ~algorithm:Analysis.Dominance.Dsu f cfg in
+  List.for_all
+    (fun l ->
+      (not (Ir.Cfg.reachable cfg l))
+      || Analysis.Dominance.idom chk l = Analysis.Dominance.idom dsu l)
+    (List.init (Ir.num_blocks f) Fun.id)
+
+(* Property: the DSU (Lengauer–Tarjan) dominators equal the CHK iterative
+   dominators on raw random CFGs, which include irreducible graphs and
+   unreachable blocks. *)
+let prop_dsu_vs_chk =
+  QCheck.Test.make ~count:200 ~name:"DSU dominators match CHK on random CFGs"
+    QCheck.(pair small_nat small_nat)
+    (fun (seed, extra) ->
+      let rand = make_rand (seed + 3) in
+      let nblocks = 2 + (extra mod 12) in
+      let f = random_cfg rand ~blocks:nblocks ~regs:4 in
+      idoms_agree f (Ir.Cfg.of_func f))
+
+(* Property: same differential on SSA'd structured programs — deeper
+   reducible nesting than [random_cfg] produces, and exercises the
+   [compute_dsu] entry point. *)
+let prop_dsu_vs_chk_ssa =
+  QCheck.Test.make ~count:60 ~name:"DSU dominators match CHK on SSA programs"
+    QCheck.(pair (int_bound 10_000) (int_range 10 60))
+    (fun (seed, size) ->
+      let ssa = Ssa.Construct.run_exn (random_program seed size) in
+      let cfg = Ir.Cfg.of_func ssa in
+      let chk = Analysis.Dominance.compute ssa cfg in
+      let dsu = Analysis.Dominance.compute_dsu ssa cfg in
+      List.for_all
+        (fun l ->
+          (not (Ir.Cfg.reachable cfg l))
+          || Analysis.Dominance.idom chk l = Analysis.Dominance.idom dsu l)
+        (List.init (Ir.num_blocks ssa) Fun.id))
+
+(* The adversarial workload shapes are exactly the graphs where the two
+   algorithms' cost profiles diverge most — make sure their answers don't. *)
+let test_dsu_on_adversarial () =
+  List.iter
+    (fun (e : Workloads.Suite.entry) ->
+      checkb (e.name ^ ": DSU = CHK") true
+        (idoms_agree e.func (Ir.Cfg.of_func e.func)))
+    (Workloads.Suite.adversarial ())
+
 let test_liveness_loop () =
   let f = counting_loop () in
   let cfg = Ir.Cfg.of_func f in
@@ -181,6 +230,27 @@ let prop_liveness_implementations_agree =
                   (Analysis.Liveness_ssa.live_out b l)))
         (List.init (Ir.num_blocks ssa) Fun.id))
 
+(* Property: the dense bit-vector liveness equals the deliberately
+   Hashtbl-shaped reference solver ([Analysis.Liveness_ref]) — the
+   representation differential behind the analysis benchmark's
+   hashtbl-vs-dense comparison. *)
+let prop_liveness_dense_vs_hashtbl =
+  QCheck.Test.make ~count:80 ~name:"dense vs hashtbl liveness on SSA"
+    QCheck.(pair (int_bound 10_000) (int_range 10 60))
+    (fun (seed, size) ->
+      let ssa = Ssa.Construct.run_exn (random_program seed size) in
+      let cfg = Ir.Cfg.of_func ssa in
+      let dense = Analysis.Liveness.compute ssa cfg in
+      let href = Analysis.Liveness_ref.compute ssa cfg in
+      List.for_all
+        (fun l ->
+          (not (Ir.Cfg.reachable cfg l))
+          || (Support.Bitset.elements (Analysis.Liveness.live_in dense l)
+                = Analysis.Liveness_ref.live_in href l
+             && Support.Bitset.elements (Analysis.Liveness.live_out dense l)
+                  = Analysis.Liveness_ref.live_out href l))
+        (List.init (Ir.num_blocks ssa) Fun.id))
+
 (* Property: dominance frontier matches its definition — b ∈ DF(a) iff a
    dominates some predecessor of b but does not strictly dominate b. *)
 let prop_dominance_frontier =
@@ -201,7 +271,7 @@ let prop_dominance_frontier =
                 let by_definition =
                   List.exists
                     (fun p -> Analysis.Dominance.dominates dom a p)
-                    (Ir.Cfg.preds cfg b)
+                    (Ir.Cfg.preds_list cfg b)
                   && not (Analysis.Dominance.strictly_dominates dom a b)
                 in
                 in_frontier = by_definition
@@ -281,11 +351,16 @@ let suite =
     Alcotest.test_case "preorder intervals" `Quick test_preorder_intervals;
     QCheck_alcotest.to_alcotest prop_dominators;
     QCheck_alcotest.to_alcotest prop_preorder_ancestry;
+    QCheck_alcotest.to_alcotest prop_dsu_vs_chk;
+    QCheck_alcotest.to_alcotest prop_dsu_vs_chk_ssa;
+    Alcotest.test_case "DSU vs CHK on adversarial shapes" `Quick
+      test_dsu_on_adversarial;
     Alcotest.test_case "liveness on a loop" `Quick test_liveness_loop;
     Alcotest.test_case "liveness is phi-aware" `Quick test_liveness_phi_aware;
     QCheck_alcotest.to_alcotest prop_liveness;
     QCheck_alcotest.to_alcotest prop_liveness_worklist_vs_round_robin;
     QCheck_alcotest.to_alcotest prop_liveness_implementations_agree;
+    QCheck_alcotest.to_alcotest prop_liveness_dense_vs_hashtbl;
     QCheck_alcotest.to_alcotest prop_dominance_frontier;
     QCheck_alcotest.to_alcotest prop_loop_depth_sanity;
     Alcotest.test_case "natural loops" `Quick test_loops;

@@ -33,7 +33,7 @@ b1:
   in
   checkb "valid (deduped preds)" true (Ir.Validate.run f = []);
   let cfg = Ir.Cfg.of_func f in
-  check Alcotest.(list int) "single pred" [ 0 ] (Ir.Cfg.preds cfg 1);
+  check Alcotest.(list int) "single pred" [ 0 ] (Ir.Cfg.preds_list cfg 1);
   checki "not critical" 0 (Ir.Edge_split.count_critical f);
   let out = Core.Coalesce.run_exn f in
   checkb "p flows through" true

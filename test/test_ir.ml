@@ -73,7 +73,7 @@ let test_cfg_orders () =
   let f = counting_loop () in
   let cfg = Ir.Cfg.of_func f in
   checki "edges" 4 (Ir.Cfg.num_edges cfg);
-  check Alcotest.(list int) "preds of header" [ 0; 2 ] (Ir.Cfg.preds cfg 1);
+  check Alcotest.(list int) "preds of header" [ 0; 2 ] (Ir.Cfg.preds_list cfg 1);
   let rpo = Array.to_list (Ir.Cfg.reverse_postorder cfg) in
   checki "rpo covers reachable blocks" 4 (List.length rpo);
   checkb "entry first in rpo" true (List.hd rpo = f.Ir.entry);
@@ -92,7 +92,7 @@ let test_cfg_unreachable () =
   let cfg = Ir.Cfg.of_func f in
   checkb "dead not reachable" false (Ir.Cfg.reachable cfg dead);
   (* The dead block's edge must not pollute preds of entry. *)
-  check Alcotest.(list int) "entry preds empty" [] (Ir.Cfg.preds cfg entry)
+  check Alcotest.(list int) "entry preds empty" [] (Ir.Cfg.preds_list cfg entry)
 
 let test_edge_split () =
   (* diamond's edges out of the entry branch into single-pred blocks: not

@@ -179,6 +179,113 @@ let test_vec () =
   Alcotest.check_raises "bounds" (Invalid_argument "Vec: index out of range")
     (fun () -> ignore (Support.Vec.get v 100))
 
+let test_vec_recycle () =
+  let v = Support.Vec.create () in
+  for i = 0 to 9 do
+    Support.Vec.push v i
+  done;
+  let cap = Support.Vec.capacity v in
+  checkb "capacity covers length" true (cap >= 10);
+  Support.Vec.clear v;
+  checki "clear empties" 0 (Support.Vec.length v);
+  checki "clear keeps store" cap (Support.Vec.capacity v);
+  Support.Vec.push v 7;
+  checki "push after clear restarts at 0" 7 (Support.Vec.get v 0);
+  Support.Vec.ensure_capacity v ~dummy:0 100;
+  checkb "ensure_capacity grows" true (Support.Vec.capacity v >= 100);
+  checki "ensure_capacity keeps elements" 7 (Support.Vec.get v 0);
+  checki "ensure_capacity keeps length" 1 (Support.Vec.length v);
+  let before = Support.Vec.capacity v in
+  Support.Vec.ensure_capacity v ~dummy:0 5;
+  checki "ensure_capacity never shrinks" before (Support.Vec.capacity v)
+
+let test_entity_id () =
+  checkb "none is none" true (Support.Entity.Id.is_none Support.Entity.Id.none);
+  checkb "0 is some" true (Support.Entity.Id.is_some 0);
+  checkb "equal" true (Support.Entity.Id.equal 3 3);
+  checkb "compare orders" true (Support.Entity.Id.compare 1 2 < 0);
+  let str i = Format.asprintf "%a" Support.Entity.Id.pp i in
+  check Alcotest.string "pp some" "4" (str 4);
+  check Alcotest.string "pp none" "-" (str Support.Entity.Id.none)
+
+let test_entity_map () =
+  let m = Support.Entity.Secondary_map.create ~default:0 () in
+  checki "fresh length" 0 (Support.Entity.Secondary_map.length m);
+  checki "default beyond frontier" 0 (Support.Entity.Secondary_map.get m 40);
+  Support.Entity.Secondary_map.set m 5 50;
+  checki "set/get" 50 (Support.Entity.Secondary_map.get m 5);
+  checki "frontier advanced" 6 (Support.Entity.Secondary_map.length m);
+  checki "gap holds default" 0 (Support.Entity.Secondary_map.get m 3);
+  Support.Entity.Secondary_map.update m 5 (fun x -> x + 1);
+  checki "update" 51 (Support.Entity.Secondary_map.get m 5);
+  Support.Entity.Secondary_map.set m 2 20;
+  let seen = ref [] in
+  Support.Entity.Secondary_map.iteri m (fun i x -> seen := (i, x) :: !seen);
+  check
+    Alcotest.(list (pair int int))
+    "iteri covers frontier in id order"
+    [ (0, 0); (1, 0); (2, 20); (3, 0); (4, 0); (5, 51) ]
+    (List.rev !seen);
+  Support.Entity.Secondary_map.clear m;
+  checki "clear resets length" 0 (Support.Entity.Secondary_map.length m);
+  checki "clear resets values" 0 (Support.Entity.Secondary_map.get m 5);
+  Alcotest.check_raises "negative id rejected"
+    (Invalid_argument "Secondary_map.set: negative id") (fun () ->
+      Support.Entity.Secondary_map.set m (-1) 9)
+
+let test_csr () =
+  (* 0 -> {1, 2}, 1 -> {2}, 2 -> {}, 3 -> {2, 2} (duplicates kept). *)
+  let edges = [ (0, 1); (0, 2); (1, 2); (3, 2); (3, 2) ] in
+  let g =
+    Support.Csr.build ~num_nodes:4 (fun emit ->
+        List.iter (fun (src, dst) -> emit ~src ~dst) edges)
+  in
+  checki "num_nodes" 4 (Support.Csr.num_nodes g);
+  checki "num_edges" 5 (Support.Csr.num_edges g);
+  checki "degree 0" 2 (Support.Csr.degree g 0);
+  checki "degree 2" 0 (Support.Csr.degree g 2);
+  checki "get" 2 (Support.Csr.get g 0 1);
+  check Alcotest.(list int) "row emission order" [ 2; 2 ]
+    (Support.Csr.row_list g 3);
+  checki "fold_row" 3 (Support.Csr.fold_row g 0 ( + ) 0);
+  let seen = ref [] in
+  Support.Csr.iter_row g 0 (fun v -> seen := v :: !seen);
+  check Alcotest.(list int) "iter_row" [ 1; 2 ] (List.rev !seen);
+  let t = Support.Csr.transpose g in
+  check Alcotest.(list int) "transposed row sorted" [ 0; 1; 3; 3 ]
+    (Support.Csr.row_list t 2);
+  check Alcotest.(list int) "transposed row of 1" [ 0 ] (Support.Csr.row_list t 1);
+  Alcotest.check_raises "get out of row"
+    (Invalid_argument "Csr.get: index out of row") (fun () ->
+      ignore (Support.Csr.get g 2 0))
+
+(* Property: CSR build + transpose agree with a naive edge-set model. *)
+let prop_csr_matches_model =
+  QCheck.Test.make ~count:200 ~name:"csr matches edge-list model"
+    QCheck.(list (pair (int_bound 9) (int_bound 9)))
+    (fun edges ->
+      let n = 10 in
+      let g =
+        Support.Csr.build ~num_nodes:n (fun emit ->
+            List.iter (fun (src, dst) -> emit ~src ~dst) edges)
+      in
+      let t = Support.Csr.transpose g in
+      let row_of u = List.sort compare (Support.Csr.row_list g u) in
+      let model_row u =
+        List.sort compare (List.filter_map
+          (fun (s, d) -> if s = u then Some d else None) edges)
+      in
+      let trow_of v = List.sort compare (Support.Csr.row_list t v) in
+      let model_trow v =
+        List.sort compare (List.filter_map
+          (fun (s, d) -> if d = v then Some s else None) edges)
+      in
+      Support.Csr.num_edges g = List.length edges
+      && Support.Csr.num_edges t = List.length edges
+      && List.for_all
+           (fun u -> row_of u = model_row u && trow_of u = model_trow u)
+           (List.init n Fun.id))
+
 let suite =
   [
     Alcotest.test_case "union-find basics" `Quick test_uf_basic;
@@ -192,4 +299,9 @@ let suite =
     Alcotest.test_case "bit matrix" `Quick test_bit_matrix;
     QCheck_alcotest.to_alcotest prop_bit_matrix;
     Alcotest.test_case "vec" `Quick test_vec;
+    Alcotest.test_case "vec recycling" `Quick test_vec_recycle;
+    Alcotest.test_case "entity ids" `Quick test_entity_id;
+    Alcotest.test_case "entity secondary map" `Quick test_entity_map;
+    Alcotest.test_case "csr adjacency" `Quick test_csr;
+    QCheck_alcotest.to_alcotest prop_csr_matches_model;
   ]

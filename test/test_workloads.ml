@@ -85,6 +85,41 @@ let test_large_entries () =
       checkb (e.name ^ " is actually large") true (Ir.num_blocks e.func > 50))
     (Workloads.Suite.large ())
 
+let test_adversarial_entries () =
+  let es = Workloads.Suite.adversarial () in
+  checki "four shapes" 4 (List.length es);
+  List.iter
+    (fun (e : Workloads.Suite.entry) ->
+      checkb (e.name ^ " validates") true (Ir.Validate.run e.func = []);
+      let o = Interp.run ~args:e.args e.func in
+      checkb (e.name ^ " terminates with a value") true (o.return_value <> None);
+      (* The shapes must survive the whole pipeline, not just analysis. *)
+      let ssa = Ssa.Construct.run_exn e.func in
+      checkb (e.name ^ " SSA validates") true (Ir.Validate.run ssa = []))
+    es
+
+let test_adversarial_comb_structure () =
+  (* The property that makes the comb quadratic for CHK: every rung join's
+     immediate dominator is the entry, while its rail predecessors get ever
+     deeper — so each intersect walks back to the root. *)
+  let f = Workloads.Generator.adversarial Workloads.Generator.Comb ~size:16 in
+  let cfg = Ir.Cfg.of_func f in
+  let dom = Analysis.Dominance.compute f cfg in
+  let joins =
+    List.filter
+      (fun l -> l <> f.entry && Ir.Cfg.num_preds cfg l >= 2)
+      (List.init (Ir.num_blocks f) Fun.id)
+  in
+  checkb "comb has a join per rung" true (List.length joins >= 16);
+  List.iter
+    (fun j ->
+      check
+        Alcotest.(option int)
+        (Printf.sprintf "idom of join %d is entry" j)
+        (Some f.entry)
+        (Analysis.Dominance.idom dom j))
+    joins
+
 let suite =
   [
     Alcotest.test_case "kernels compile and run" `Slow test_kernels_compile_and_run;
@@ -98,4 +133,7 @@ let suite =
     Alcotest.test_case "generator scales" `Quick test_generator_sizes_scale;
     Alcotest.test_case "generated entries run" `Quick test_generated_entries;
     Alcotest.test_case "large entries" `Slow test_large_entries;
+    Alcotest.test_case "adversarial entries" `Quick test_adversarial_entries;
+    Alcotest.test_case "adversarial comb structure" `Quick
+      test_adversarial_comb_structure;
   ]
