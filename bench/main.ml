@@ -5,10 +5,10 @@
    byte-accurate models of the distinguishing data structures.
 
    Usage: main.exe [table1|table2|table3|table4|table5|scaling|ablation|
-                    destruction|passes|regalloc|throughput|cache|analysis|
+                    destruction|passes|regalloc|throughput|cache|analysis|serve|
                     metrics|all]
           main.exe --fast ...     (shorter Bechamel quotas, noisier numbers)
-          main.exe --json ...     (also write BENCH_6.json: per-table wall
+          main.exe --json ...     (also write BENCH_7.json: per-table wall
                                    times + throughput + cache cold/warm +
                                    the analysis-core comparisons,
                                    machine-readable)
@@ -798,6 +798,89 @@ let analysis_bench () =
       ]
     (List.rev !rows)
 
+
+(* ------------------------------------------------------------------ *)
+(* Extension: the concurrent socket server under load — throughput,    *)
+(* client-observed latency percentiles, dedup collapse, busy shedding. *)
+(* ------------------------------------------------------------------ *)
+
+(* scenario, loadgen result *)
+let serve_results : (string * Serve.Loadgen.result) list ref = ref []
+
+let serve_scenario ~name ~config ~clients ~requests ~distinct rows =
+  let server = Serve.Server.start ~config (Serve.Server.Tcp ("", 0)) in
+  let r =
+    Fun.protect
+      ~finally:(fun () -> Serve.Server.stop server)
+      (fun () ->
+        Serve.Loadgen.run
+          ~port:(Serve.Server.port server)
+          ~clients ~requests_per_client:requests ~distinct ())
+  in
+  serve_results := (name, r) :: !serve_results;
+  let stat k = Option.value ~default:0 (List.assoc_opt k r.server_stats) in
+  rows :=
+    [
+      name;
+      string_of_int r.clients;
+      string_of_int r.requests;
+      string_of_int r.ok;
+      string_of_int r.busy;
+      Printf.sprintf "%.0f" r.throughput;
+      Printf.sprintf "%.2f" r.p50_ms;
+      Printf.sprintf "%.2f" r.p95_ms;
+      Printf.sprintf "%.2f" r.p99_ms;
+      string_of_int (stat "dedup");
+      string_of_int (stat "contention");
+    ]
+    :: !rows
+
+let serve_bench () =
+  serve_results := [];
+  let rows = ref [] in
+  let fast = !quota < 0.2 in
+  let cache () = Some (Cache.create ~capacity:4096 ~shards:8 ()) in
+  (* Capacity: a deep queue sized to the fleet, so nothing sheds and the
+     percentiles measure queueing + compile + dedup collapse. *)
+  serve_scenario ~name:"capacity"
+    ~config:
+      {
+        Serve.Server.jobs = 2;
+        queue_capacity = 4096;
+        per_conn = 8;
+        max_conns = 4096;
+        cache = cache ();
+      }
+    ~clients:(if fast then 128 else 1000)
+    ~requests:(if fast then 4 else 5)
+    ~distinct:32 rows;
+  (* Overload: a tiny queue against the same fleet — the server must shed
+     with err status=busy rather than queue unboundedly or fall over. *)
+  serve_scenario ~name:"overload"
+    ~config:
+      {
+        Serve.Server.jobs = 2;
+        queue_capacity = 4;
+        per_conn = 2;
+        max_conns = 4096;
+        cache = cache ();
+      }
+    ~clients:(if fast then 64 else 256)
+    ~requests:(if fast then 4 else 8)
+    ~distinct:8 rows;
+  T.print
+    ~title:
+      "Serve: concurrent TCP clients against the shared warm pool (2 \
+       domains; capacity = deep queue, overload = 4-deep queue with \
+       per-conn limit 2; latency percentiles are client-observed over ok \
+       replies)"
+    ~header:
+      [
+        "scenario"; "clients"; "reqs"; "ok"; "busy"; "req/s"; "p50 ms";
+        "p95 ms"; "p99 ms"; "dedup"; "contention";
+      ]
+    (List.rev !rows)
+
 (* ------------------------------------------------------------------ *)
 (* metrics: the Obs counter vectors over the kernel suite — the same   *)
 (* numbers the golden metrics-regression test pins down.               *)
@@ -857,6 +940,25 @@ let emit_json ~path ~fast timings =
         bench input variant seconds words
         (if i = List.length ar - 1 then "" else ","))
     ar;
+  out "  ],\n";
+  out "  \"serve\": [\n";
+  let sr = List.rev !serve_results in
+  List.iteri
+    (fun i ((name, r) : string * Serve.Loadgen.result) ->
+      let stat k =
+        Option.value ~default:0 (List.assoc_opt k r.server_stats)
+      in
+      out
+        "    {\"scenario\": %S, \"clients\": %d, \"requests\": %d, \
+         \"ok\": %d, \"busy\": %d, \"errors\": %d, \"elapsed_s\": %.4f, \
+         \"throughput_rps\": %.2f, \"p50_ms\": %.4f, \"p95_ms\": %.4f, \
+         \"p99_ms\": %.4f, \"dedup\": %d, \"shed\": %d, \
+         \"contention\": %d}%s\n"
+        name r.clients r.requests r.ok r.busy r.errors r.elapsed_s
+        r.throughput r.p50_ms r.p95_ms r.p99_ms (stat "dedup") (stat "shed")
+        (stat "contention")
+        (if i = List.length sr - 1 then "" else ","))
+    sr;
   out "  ]\n";
   out "}\n";
   close_out oc;
@@ -888,17 +990,18 @@ let () =
     | "throughput" -> timed name throughput
     | "cache" -> timed name cache_bench
     | "analysis" -> timed name analysis_bench
+    | "serve" -> timed name serve_bench
     | "metrics" -> timed name metrics
     | "all" ->
       List.iter run
         [
           "table1"; "table2"; "table3"; "table4"; "scaling"; "ablation";
           "destruction"; "passes"; "regalloc"; "throughput"; "cache";
-          "analysis"; "metrics";
+          "analysis"; "serve"; "metrics";
         ]
     | other ->
       Printf.eprintf "unknown target %S\n" other;
       exit 2
   in
   List.iter run what;
-  if json then emit_json ~path:"BENCH_6.json" ~fast (List.rev !timings)
+  if json then emit_json ~path:"BENCH_7.json" ~fast (List.rev !timings)

@@ -200,7 +200,7 @@ let alloc_cmd =
           let after = Interp.run ~args:vals r.func in
           let same =
             before.return_value = after.return_value
-            && List.remove_assoc Regalloc.spill_array after.arrays = before.arrays
+            && List.remove_assoc r.spill_array after.arrays = before.arrays
           in
           Printf.printf "semantics preserved: %b\n" same
         end)
@@ -606,166 +606,88 @@ let report_cmd =
     Term.(const run $ path $ json $ jobs)
 
 (* ------------------------------------------------------------------ *)
-(* serve: persistent compile service over stdin/stdout                 *)
+(* serve: persistent compile service (stdin, TCP, unix socket)         *)
 (* ------------------------------------------------------------------ *)
 
-(* One request per stdin line, one response per stdout line; per-request
-   latency and the end-of-session cache summary go to stderr so scripted
-   sessions can diff stdout deterministically. The request grammar (see
-   DESIGN.md):
+(* The request grammar, response taxonomy and every diagnostic string
+   live in Serve.Protocol, shared between this front end and the
+   concurrent Serve.Server. Default transport is the historical one —
+   one request per stdin line, one response per stdout line, per-request
+   latency on stderr so scripted sessions diff stdout deterministically.
+   --tcp PORT / --socket PATH instead run the concurrent server on that
+   address and keep serving until stdin reports EOF (or a lone "stop"
+   line), then drain gracefully. *)
 
-     compile [--passes SPEC] PATH      compile every function in the file
-     inline  [--passes SPEC] PROGRAM   compile one-line mini-language text
-     run [--args V,..] [--passes SPEC] PATH   compile, then interpret
-     quit | exit                       respond "ok bye" and leave
-     # comment / blank                 ignored, no response
-
-   Responses reuse the process exit-code taxonomy as a status field:
-     ok ...                            the request succeeded
-     err status=2 MSG                  unparsable input / bad request
-     err status=3 MSG                  the program faulted when run
-   A failed request never terminates the session. *)
-
-let serve_values_of_string s =
-  List.map
-    (fun tok ->
-      match float_of_string_opt tok with
-      | Some x when Float.is_integer x -> Ir.Int (int_of_float x)
-      | Some x -> Ir.Float x
-      | None -> raise (Input_error ("serve: bad --args value '" ^ tok ^ "'")))
-    (String.split_on_char ',' s)
-
-(* Pull the first "--opt VALUE" pair out of a token list, keeping the
-   order of everything else (the inline program text, the path). *)
-let serve_extract opt words =
-  let rec go acc = function
-    | w :: v :: rest when w = opt -> (Some v, List.rev_append acc rest)
-    | [ w ] when w = opt ->
-      raise (Input_error ("serve: " ^ opt ^ " needs a value"))
-    | w :: rest -> go (w :: acc) rest
-    | [] -> (None, List.rev acc)
-  in
-  go [] words
-
-let serve_pipeline = function
-  | None -> Driver.Pipeline.passes_of_config Driver.Pipeline.default
-  | Some spec -> (
-    match Pass.Spec.parse spec with
-    | Ok p -> p
-    | Error msg -> raise (Input_error msg))
-
-let serve_parse_inline text =
-  match Frontend.Lower.compile text with
-  | [] -> raise (Input_error "serve: no functions in inline program")
-  | fs -> fs
-  | exception Frontend.Parser.Error (msg, line) ->
-    raise (Input_error (Printf.sprintf "inline:%d: %s" line msg))
-
-type serve_reply = Reply of string | Silent | Quit
-
-(* Compile a batch on the warm pool, reporting this request's cache-stat
-   delta so a scripted session shows cold misses turning into warm hits. *)
-let serve_compile ~pool ~cache pipeline funcs =
-  let before =
-    match cache with Some c -> Cache.stats c | None -> Cache.zero_stats
-  in
-  let reports =
-    Driver.Pipeline.compile_batch_passes_in pool ?cache pipeline funcs
-  in
-  let after =
-    match cache with Some c -> Cache.stats c | None -> Cache.zero_stats
-  in
-  let copies =
-    List.fold_left
-      (fun acc (r : Driver.Pipeline.report) -> acc + Ir.count_copies r.output)
-      0 reports
-  in
-  ( reports,
-    Printf.sprintf "funcs=%d copies=%d hits=%d misses=%d"
-      (List.length reports) copies
-      (after.Cache.hits - before.Cache.hits)
-      (after.Cache.misses - before.Cache.misses) )
-
-let serve_request ~pool ~cache line =
-  let words =
-    List.filter (fun w -> w <> "") (String.split_on_char ' ' line)
-  in
-  match words with
-  | [] -> Silent
-  | w :: _ when w.[0] = '#' -> Silent
-  | [ "quit" ] | [ "exit" ] -> Quit
-  | verb :: rest -> (
-    let spec, rest = serve_extract "--passes" rest in
-    match verb with
-    | "compile" -> (
-      match rest with
-      | [ path ] ->
-        let _, note = serve_compile ~pool ~cache (serve_pipeline spec) (load path) in
-        Reply ("ok " ^ note)
-      | _ -> raise (Input_error "serve: usage: compile [--passes SPEC] PATH"))
-    | "inline" ->
-      if rest = [] then
-        raise (Input_error "serve: usage: inline [--passes SPEC] PROGRAM")
-      else
-        let funcs = serve_parse_inline (String.concat " " rest) in
-        let _, note = serve_compile ~pool ~cache (serve_pipeline spec) funcs in
-        Reply ("ok " ^ note)
-    | "run" -> (
-      let args, rest = serve_extract "--args" rest in
-      let vals = Option.fold ~none:[] ~some:serve_values_of_string args in
-      match rest with
-      | [ path ] ->
-        let funcs = load path in
-        let reports, _ = serve_compile ~pool ~cache (serve_pipeline spec) funcs in
-        let outcomes =
-          List.map
-            (fun (r : Driver.Pipeline.report) ->
-              let o = Interp.run ~args:vals r.output in
-              Printf.sprintf "%s=%s" r.output.Ir.name
-                (match o.return_value with
-                | Some v -> Format.asprintf "%a" Ir.Printer.pp_value v
-                | None -> "(nothing)"))
-            reports
+let serve_stdin ~jobs ~cache =
+  Engine.Pool.with_pool ~jobs (fun pool ->
+      let n = ref 0 in
+      let compile = Serve.Protocol.batch_compile ~pool ~cache in
+      let stats () =
+        let s =
+          match cache with Some c -> Cache.stats c | None -> Cache.zero_stats
         in
-        Reply ("ok ran " ^ String.concat " " outcomes)
-      | _ ->
-        raise
-          (Input_error "serve: usage: run [--args V,..] [--passes SPEC] PATH"))
-    | _ ->
-      raise
-        (Input_error
-           (Printf.sprintf
-              "serve: unknown request '%s' (requests: compile, inline, run, \
-               quit)"
-              verb)))
+        Printf.sprintf
+          "stats served=%d hits=%d misses=%d evictions=%d dedup=%d \
+           contention=%d"
+          !n s.Cache.hits s.Cache.misses s.Cache.evictions
+          s.Cache.dedup_collapsed s.Cache.contention
+      in
+      let rec loop () =
+        match In_channel.input_line stdin with
+        | None -> ()
+        | Some line -> (
+          let t0 = Unix.gettimeofday () in
+          match Serve.Protocol.respond ~compile ~stats line with
+          | Serve.Protocol.No_reply -> loop ()
+          | Serve.Protocol.Reply s ->
+            incr n;
+            print_string s;
+            print_newline ();
+            flush stdout;
+            Printf.eprintf "# request %d: %.2f ms\n%!" !n
+              ((Unix.gettimeofday () -. t0) *. 1000.);
+            loop ()
+          | Serve.Protocol.Bye s ->
+            print_string s;
+            print_newline ();
+            flush stdout)
+      in
+      loop ();
+      Option.iter
+        (fun c ->
+          let s = Cache.stats c in
+          Printf.eprintf
+            "# served %d request(s); cache hits=%d misses=%d evictions=%d \
+             dedup=%d bytes=%d\n%!"
+            !n s.Cache.hits s.Cache.misses s.Cache.evictions
+            s.Cache.dedup_collapsed s.Cache.bytes_stored)
+        cache);
+  0
 
-(* The protocol is strictly line-oriented, so multi-line diagnostics (the
-   pass-registry listing after an unknown pass name, say) are trimmed to
-   their first line — which carries the verdict and the "did you mean". *)
-let serve_one_line msg =
-  match String.index_opt msg '\n' with
-  | Some i -> String.sub msg 0 i
-  | None -> msg
-
-(* Per-request degradation: anything the top-level handler would turn into
-   exit 2 or 3 becomes an err response with that status, and the loop keeps
-   serving. *)
-let serve_respond ~pool ~cache line =
-  let err status msg =
-    Reply (Printf.sprintf "err status=%d %s" status (serve_one_line msg))
+let serve_socket ~config listen =
+  let server = Serve.Server.start ~config listen in
+  Printf.printf "listening %s\n%!" (Serve.Server.address server);
+  (* Foreground until stdin closes or says stop; then drain gracefully. *)
+  let rec wait () =
+    match In_channel.input_line stdin with
+    | None -> ()
+    | Some l when String.trim l = "stop" || String.trim l = "quit" -> ()
+    | Some _ -> wait ()
   in
-  match serve_request ~pool ~cache line with
-  | reply -> reply
-  | exception Input_error msg -> err exit_parse_error msg
-  | exception Sys_error msg -> err exit_parse_error msg
-  | exception Invalid_argument msg ->
-    (* e.g. Interp.run on a wrong argument count: bad request, not a
-       server fault. *)
-    err exit_parse_error msg
-  | exception Interp.Error e ->
-    err exit_runtime_fault
-      (Format.asprintf "runtime fault: %a" Interp.pp_error e)
-  | exception Check.Failed msg -> err exit_runtime_fault msg
+  wait ();
+  Serve.Server.stop server;
+  let c = Serve.Server.counters server in
+  let s = match config.Serve.Server.cache with
+    | Some cache -> Cache.stats cache
+    | None -> Cache.zero_stats
+  in
+  Printf.eprintf
+    "# accepted=%d refused=%d served=%d shed=%d; cache hits=%d misses=%d \
+     dedup=%d contention=%d\n%!"
+    c.Serve.Server.accepted c.Serve.Server.refused c.Serve.Server.served
+    c.Serve.Server.shed s.Cache.hits s.Cache.misses s.Cache.dedup_collapsed
+    s.Cache.contention;
+  0
 
 let serve_cmd =
   let jobs =
@@ -798,57 +720,153 @@ let serve_cmd =
              across serve sessions."
           ~docv:"DIR")
   in
-  let run jobs no_cache capacity cache_dir =
+  let tcp =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "tcp" ]
+          ~doc:
+            "Serve many concurrent clients over TCP on 127.0.0.1:$(docv) \
+             (0 = ephemeral; the bound address is printed on stdout)."
+          ~docv:"PORT")
+  in
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ]
+          ~doc:"Serve many concurrent clients on a unix-domain socket at \
+                $(docv)."
+          ~docv:"PATH")
+  in
+  let queue =
+    Arg.(
+      value & opt int 64
+      & info [ "queue" ]
+          ~doc:
+            "Bound on globally pending requests; beyond it requests are \
+             shed with err status=busy (socket modes)."
+          ~docv:"N")
+  in
+  let per_conn =
+    Arg.(
+      value & opt int 8
+      & info [ "per-conn" ]
+          ~doc:"In-flight request limit per connection (socket modes)."
+          ~docv:"N")
+  in
+  let max_conns =
+    Arg.(
+      value & opt int 1024
+      & info [ "max-conns" ]
+          ~doc:"Simultaneous-connection limit (socket modes)." ~docv:"N")
+  in
+  let shards =
+    Arg.(
+      value & opt int 8
+      & info [ "cache-shards" ]
+          ~doc:
+            "LRU lock shards for the shared cache under concurrency \
+             (socket modes; the stdin loop always uses one)."
+          ~docv:"N")
+  in
+  let run jobs no_cache capacity cache_dir tcp socket queue per_conn max_conns
+      shards =
     let jobs = if jobs = 0 then Engine.default_jobs () else jobs in
-    let cache =
+    let make_cache ~shards =
       if no_cache then None
-      else Some (Cache.create ~capacity ?dir:cache_dir ())
+      else Some (Cache.create ~capacity ?dir:cache_dir ~shards ())
     in
-    Engine.Pool.with_pool ~jobs (fun pool ->
-        let n = ref 0 in
-        let rec loop () =
-          match In_channel.input_line stdin with
-          | None -> ()
-          | Some line -> (
-            let t0 = Unix.gettimeofday () in
-            match serve_respond ~pool ~cache line with
-            | Silent -> loop ()
-            | Reply s ->
-              incr n;
-              print_string s;
-              print_newline ();
-              flush stdout;
-              Printf.eprintf "# request %d: %.2f ms\n%!" !n
-                ((Unix.gettimeofday () -. t0) *. 1000.);
-              loop ()
-            | Quit ->
-              print_string "ok bye\n";
-              flush stdout)
-        in
-        loop ();
-        Option.iter
-          (fun c ->
-            let s = Cache.stats c in
-            Printf.eprintf
-              "# served %d request(s); cache hits=%d misses=%d evictions=%d \
-               dedup=%d bytes=%d\n%!"
-              !n s.Cache.hits s.Cache.misses s.Cache.evictions
-              s.Cache.dedup_collapsed s.Cache.bytes_stored)
-          cache);
-    0
+    match (tcp, socket) with
+    | Some _, Some _ ->
+      raise (Input_error "serve: --tcp and --socket are mutually exclusive")
+    | None, None -> serve_stdin ~jobs ~cache:(make_cache ~shards:1)
+    | _ ->
+      let config =
+        {
+          Serve.Server.jobs;
+          queue_capacity = queue;
+          per_conn;
+          max_conns;
+          cache = make_cache ~shards;
+        }
+      in
+      let listen =
+        match (tcp, socket) with
+        | Some port, None -> Serve.Server.Tcp ("", port)
+        | None, Some path -> Serve.Server.Unix_path path
+        | _ -> assert false
+      in
+      serve_socket ~config listen
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
-         "Persistent compile service: one request per stdin line, one \
-          response per stdout line, reusing a warm engine pool and the \
-          result cache across requests")
-    Term.(const run $ jobs $ no_cache $ capacity $ cache_dir)
+         "Persistent compile service: one request per line, one response \
+          per line, reusing a warm engine pool and the result cache across \
+          requests — over stdin/stdout by default, or concurrently over \
+          TCP/unix sockets with --tcp/--socket")
+    Term.(
+      const run $ jobs $ no_cache $ capacity $ cache_dir $ tcp $ socket
+      $ queue $ per_conn $ max_conns $ shards)
+
+(* ------------------------------------------------------------------ *)
+(* loadgen: drive a running socket server                              *)
+(* ------------------------------------------------------------------ *)
+
+let loadgen_cmd =
+  let port =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "port" ] ~doc:"TCP port of the server to drive." ~docv:"PORT")
+  in
+  let host =
+    Arg.(
+      value & opt string ""
+      & info [ "host" ] ~doc:"Numeric server address (default loopback)."
+          ~docv:"ADDR")
+  in
+  let clients =
+    Arg.(
+      value & opt int 50
+      & info [ "clients" ] ~doc:"Concurrent client connections." ~docv:"N")
+  in
+  let requests =
+    Arg.(
+      value & opt int 20
+      & info [ "requests" ] ~doc:"Requests per client, sent back-to-back."
+          ~docv:"N")
+  in
+  let distinct =
+    Arg.(
+      value & opt int 16
+      & info [ "distinct" ]
+          ~doc:
+            "Distinct programs in the corpus; smaller = more identical \
+             requests in flight at once (dedup pressure)."
+          ~docv:"N")
+  in
+  let run port host clients requests distinct =
+    let r =
+      Serve.Loadgen.run ~host ~port ~clients ~requests_per_client:requests
+        ~distinct ()
+    in
+    Format.printf "%a@." Serve.Loadgen.pp r;
+    if r.Serve.Loadgen.errors > 0 then 1 else 0
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Closed-loop load generator for a serve socket server: concurrent \
+          clients, tagged pipelined requests, latency percentiles and the \
+          server's own final counters")
+    Term.(const run $ port $ host $ clients $ requests $ distinct)
 
 let subcommands =
   [
     dump_cmd; run_cmd; compare_cmd; alloc_cmd; opt_cmd; dot_cmd; fuzz_cmd;
-    report_cmd; serve_cmd;
+    report_cmd; serve_cmd; loadgen_cmd;
   ]
 
 (* An unknown subcommand is an input error like any other: exit 2 with a

@@ -50,29 +50,75 @@ type stats = {
   evictions : int;
   dedup_collapsed : int;
   bytes_stored : int;
+  contention : int;
 }
 
 let zero_stats =
-  { hits = 0; misses = 0; evictions = 0; dedup_collapsed = 0; bytes_stored = 0 }
+  {
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    dedup_collapsed = 0;
+    bytes_stored = 0;
+    contention = 0;
+  }
+
+let add_stats a b =
+  {
+    hits = a.hits + b.hits;
+    misses = a.misses + b.misses;
+    evictions = a.evictions + b.evictions;
+    dedup_collapsed = a.dedup_collapsed + b.dedup_collapsed;
+    bytes_stored = a.bytes_stored + b.bytes_stored;
+    contention = a.contention + b.contention;
+  }
 
 (* ------------------------------------------------------------------ *)
-(* The cache proper                                                    *)
+(* The cache proper: an array of independently-locked shards. A key
+   lives in exactly one shard (chosen by hash), so concurrent sessions
+   touching different keys never serialize on one mutex. The default of
+   one shard preserves the exact global-LRU behavior the deterministic
+   eviction tests depend on; the serve path creates many.              *)
 (* ------------------------------------------------------------------ *)
 
 type entry = { report : Pass.report; mutable last_use : int }
 
-type t = {
+(* An in-flight computation of one key. The owner publishes into
+   [outcome] under the shard lock and broadcasts; waiters count as
+   dedup_collapsed. *)
+type flight = { mutable outcome : flight_outcome }
+and flight_outcome = Pending | Done of Pass.report | Failed of exn
+
+type shard = {
   capacity : int;
-  disk_dir : string option;
   lock : Mutex.t;
+  cond : Condition.t;  (* signaled when any flight of this shard lands *)
   table : (string, entry) Hashtbl.t;
+  inflight : (string, flight) Hashtbl.t;
   mutable clock : int;  (* recency ticks, bumped on every touch *)
   mutable stats : stats;
 }
 
-let locked t f =
-  Mutex.lock t.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+type t = {
+  requested_capacity : int;
+  disk_dir : string option;
+  shards : shard array;
+  contention : int Atomic.t;
+      (* try_lock misses — lock acquisitions that had to block *)
+}
+
+let shard_of t key = t.shards.(Hashtbl.hash key mod Array.length t.shards)
+
+(* Lock with contention accounting: an uncontended acquisition is one
+   try_lock; a contended one blocks and is counted. The counter is an
+   atomic outside any shard lock, so recording contention never causes
+   more of it. *)
+let locked t (sh : shard) f =
+  if not (Mutex.try_lock sh.lock) then begin
+    Atomic.incr t.contention;
+    Mutex.lock sh.lock
+  end;
+  Fun.protect ~finally:(fun () -> Mutex.unlock sh.lock) f
 
 let rec mkdir_p path =
   if path <> "" && path <> "/" && path <> "." && not (Sys.file_exists path)
@@ -82,23 +128,44 @@ let rec mkdir_p path =
     with Sys_error _ when Sys.is_directory path -> ()
   end
 
-let create ?(capacity = 256) ?dir () =
+let create ?(capacity = 256) ?dir ?(shards = 1) () =
   Option.iter mkdir_p dir;
+  let capacity = max 1 capacity in
+  let nshards = max 1 shards in
+  let per_shard = max 1 (capacity / nshards) in
   {
-    capacity = max 1 capacity;
+    requested_capacity = capacity;
     disk_dir = dir;
-    lock = Mutex.create ();
-    table = Hashtbl.create 64;
-    clock = 0;
-    stats = zero_stats;
+    shards =
+      Array.init nshards (fun _ ->
+          {
+            capacity = per_shard;
+            lock = Mutex.create ();
+            cond = Condition.create ();
+            table = Hashtbl.create 64;
+            inflight = Hashtbl.create 8;
+            clock = 0;
+            stats = zero_stats;
+          });
+    contention = Atomic.make 0;
   }
 
-let capacity t = t.capacity
+let capacity t = t.requested_capacity
+let shards t = Array.length t.shards
 let dir t = t.disk_dir
-let stats t = locked t (fun () -> t.stats)
+
+let stats t =
+  let s =
+    Array.fold_left
+      (fun acc sh -> add_stats acc (locked t sh (fun () -> sh.stats)))
+      zero_stats t.shards
+  in
+  { s with contention = Atomic.get t.contention }
+
 let note_dedup t n =
-  locked t (fun () ->
-      t.stats <- { t.stats with dedup_collapsed = t.stats.dedup_collapsed + n })
+  let sh = t.shards.(0) in
+  locked t sh (fun () ->
+      sh.stats <- { sh.stats with dedup_collapsed = sh.stats.dedup_collapsed + n })
 
 (* The footprint model of a stored entry: the functions it snapshots plus
    its strings. Deterministic, so the serve protocol and the golden tests
@@ -242,44 +309,45 @@ let disk_find t key =
 (* Memory tier (LRU) + the two-tier find/store                         *)
 (* ------------------------------------------------------------------ *)
 
-let touch t e =
-  t.clock <- t.clock + 1;
-  e.last_use <- t.clock
+let touch (sh : shard) e =
+  sh.clock <- sh.clock + 1;
+  e.last_use <- sh.clock
 
 (* Capacity is small (hundreds); a scan per eviction keeps the structure
-   trivially correct under the mutex. *)
-let evict_over_capacity t =
-  while Hashtbl.length t.table > t.capacity do
+   trivially correct under the shard mutex. *)
+let evict_over_capacity (sh : shard) =
+  while Hashtbl.length sh.table > sh.capacity do
     let victim =
       Hashtbl.fold
         (fun k e acc ->
           match acc with
           | Some (_, best) when best.last_use <= e.last_use -> acc
           | _ -> Some (k, e))
-        t.table None
+        sh.table None
     in
     match victim with
     | None -> ()
     | Some (k, _) ->
-      Hashtbl.remove t.table k;
-      t.stats <- { t.stats with evictions = t.stats.evictions + 1 }
+      Hashtbl.remove sh.table k;
+      sh.stats <- { sh.stats with evictions = sh.stats.evictions + 1 }
   done
 
-let mem_insert t key report =
-  match Hashtbl.find_opt t.table key with
-  | Some e -> touch t e
+let mem_insert (sh : shard) key report =
+  match Hashtbl.find_opt sh.table key with
+  | Some e -> touch sh e
   | None ->
-    t.clock <- t.clock + 1;
-    Hashtbl.add t.table key { report; last_use = t.clock };
-    evict_over_capacity t
+    sh.clock <- sh.clock + 1;
+    Hashtbl.add sh.table key { report; last_use = sh.clock };
+    evict_over_capacity sh
 
 let find t key =
+  let sh = shard_of t key in
   let mem =
-    locked t (fun () ->
-        match Hashtbl.find_opt t.table key with
+    locked t sh (fun () ->
+        match Hashtbl.find_opt sh.table key with
         | Some e ->
-          touch t e;
-          t.stats <- { t.stats with hits = t.stats.hits + 1 };
+          touch sh e;
+          sh.stats <- { sh.stats with hits = sh.stats.hits + 1 };
           Some e.report
         | None -> None)
   in
@@ -289,21 +357,100 @@ let find t key =
     (* Disk probe outside the lock: file IO must not serialize domains. *)
     match disk_find t key with
     | Some report ->
-      locked t (fun () ->
-          mem_insert t key report;
-          t.stats <- { t.stats with hits = t.stats.hits + 1 });
+      locked t sh (fun () ->
+          mem_insert sh key report;
+          sh.stats <- { sh.stats with hits = sh.stats.hits + 1 });
       Some report
     | None ->
-      locked t (fun () ->
-          t.stats <- { t.stats with misses = t.stats.misses + 1 });
+      locked t sh (fun () ->
+          sh.stats <- { sh.stats with misses = sh.stats.misses + 1 });
       None)
 
 let store t key report =
-  locked t (fun () ->
-      mem_insert t key report;
-      t.stats <-
-        { t.stats with bytes_stored = t.stats.bytes_stored + entry_bytes report });
+  let sh = shard_of t key in
+  locked t sh (fun () ->
+      mem_insert sh key report;
+      sh.stats <-
+        { sh.stats with bytes_stored = sh.stats.bytes_stored + entry_bytes report });
   disk_store t key report
+
+(* ------------------------------------------------------------------ *)
+(* Read-through with cross-client in-flight dedup. The first session to
+   miss a key becomes the owner and computes outside every lock; any
+   session asking for the same key while the flight is pending blocks on
+   the shard condition and shares the owner's result, counting one
+   dedup_collapsed. This is what makes identical concurrent requests
+   from different serve connections collapse to one compilation.       *)
+(* ------------------------------------------------------------------ *)
+
+let compute_through t key compute =
+  let sh = shard_of t key in
+  let role =
+    locked t sh (fun () ->
+        match Hashtbl.find_opt sh.table key with
+        | Some e ->
+          touch sh e;
+          sh.stats <- { sh.stats with hits = sh.stats.hits + 1 };
+          `Hit e.report
+        | None -> (
+          match Hashtbl.find_opt sh.inflight key with
+          | Some fl ->
+            sh.stats <-
+              { sh.stats with dedup_collapsed = sh.stats.dedup_collapsed + 1 };
+            `Wait fl
+          | None ->
+            let fl = { outcome = Pending } in
+            Hashtbl.add sh.inflight key fl;
+            `Own fl))
+  in
+  match role with
+  | `Hit report -> (`Hit, report)
+  | `Wait fl -> (
+    (* Block until the owner lands this flight. The condition is per
+       shard, not per flight: landings are rare relative to waits, and a
+       spurious wakeup just re-checks the outcome. *)
+    let outcome =
+      locked t sh (fun () ->
+          while (match fl.outcome with Pending -> true | _ -> false) do
+            Condition.wait sh.cond sh.lock
+          done;
+          fl.outcome)
+    in
+    match outcome with
+    | Done report -> (`Collapsed, report)
+    | Failed e -> raise e
+    | Pending -> assert false)
+  | `Own fl -> (
+    (* Owner: probe disk, else compute — both outside the lock — then
+       publish, wake waiters, and retire the flight. *)
+    let publish outcome stats_update =
+      locked t sh (fun () ->
+          fl.outcome <- outcome;
+          Hashtbl.remove sh.inflight key;
+          (match outcome with
+          | Done report -> mem_insert sh key report
+          | Failed _ | Pending -> ());
+          sh.stats <- stats_update sh.stats;
+          Condition.broadcast sh.cond)
+    in
+    match disk_find t key with
+    | Some report ->
+      publish (Done report) (fun s -> { s with hits = s.hits + 1 });
+      (`Hit, report)
+    | None -> (
+      match compute () with
+      | report ->
+        publish (Done report) (fun s ->
+            {
+              s with
+              misses = s.misses + 1;
+              bytes_stored = s.bytes_stored + entry_bytes report;
+            });
+        disk_store t key report;
+        (`Miss, report)
+      | exception e ->
+        publish (Failed e) (fun s -> { s with misses = s.misses + 1 });
+        raise e))
 
 (* ------------------------------------------------------------------ *)
 (* Observability                                                       *)
@@ -316,4 +463,5 @@ let record_extras t ~since obs =
   Obs.add_extra obs "cache_evictions" (s.evictions - since.evictions);
   Obs.add_extra obs "cache_dedup_collapsed"
     (s.dedup_collapsed - since.dedup_collapsed);
-  Obs.add_extra obs "cache_bytes_stored" (s.bytes_stored - since.bytes_stored)
+  Obs.add_extra obs "cache_bytes_stored" (s.bytes_stored - since.bytes_stored);
+  Obs.add_extra obs "cache_lock_contention" (s.contention - since.contention)

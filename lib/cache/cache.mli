@@ -44,16 +44,28 @@ type stats = {
   bytes_stored : int;
       (** cumulative estimated footprint of stored entries (input,
           stages and output, {!Ir.estimated_bytes} model) *)
+  contention : int;
+      (** shard-lock acquisitions that found the lock held and had to
+          block — the serve path's measure of how hot the cache mutexes
+          run under concurrent sessions *)
 }
 
-val create : ?capacity:int -> ?dir:string -> unit -> t
+val create : ?capacity:int -> ?dir:string -> ?shards:int -> unit -> t
 (** [create ()] is a memory-only cache holding at most [capacity]
     (default 256) reports. With [dir], entries are also persisted under
     [dir] (created if missing) and survive the process; the memory tier
-    then acts as the hot front of the disk tier. Raises [Sys_error] only
-    if [dir] is given and cannot be created. *)
+    then acts as the hot front of the disk tier. [shards] (default 1)
+    splits the memory tier into independently-locked shards so
+    concurrent sessions touching different keys never serialize on one
+    mutex; with one shard the LRU is exactly global (the deterministic
+    eviction order older tests rely on), with [n] shards each shard runs
+    its own LRU over [capacity/n] entries. Raises [Sys_error] only if
+    [dir] is given and cannot be created. *)
 
 val capacity : t -> int
+
+val shards : t -> int
+(** Number of independently-locked shards (≥ 1). *)
 
 val dir : t -> string option
 (** The disk-tier directory, if one was configured. *)
@@ -76,6 +88,18 @@ val store : t -> string -> Pass.report -> unit
     atomically. Disk-write failures are swallowed: a cache that cannot
     persist degrades to memory-only, it does not fail the compile. *)
 
+val compute_through : t -> string -> (unit -> Pass.report) -> [ `Hit | `Miss | `Collapsed ] * Pass.report
+(** [compute_through t key compute] is the read-through entry point the
+    concurrent serve path uses: on a memory or disk hit it returns
+    [(`Hit, report)]; on a miss the {e first} caller becomes the owner,
+    runs [compute] outside every lock, stores the result in both tiers
+    and returns [(`Miss, report)]; any caller asking for the same key
+    while that computation is in flight blocks until it lands and shares
+    the owner's result as [(`Collapsed, report)], counting one
+    [dedup_collapsed]. If [compute] raises, the owner's exception is
+    re-raised in every blocked caller and the flight is retired so a
+    later request retries. *)
+
 val note_dedup : t -> int -> unit
 (** Record [n] batch items collapsed by work-item deduplication (the
     driver calls this; it is bookkeeping only). *)
@@ -90,10 +114,10 @@ val zero_stats : stats
 val record_extras : t -> since:stats -> Obs.t -> unit
 (** Publish the counter deltas since [since] into an {!Obs} recorder as
     the extra counters ["cache_hits"], ["cache_misses"],
-    ["cache_evictions"], ["cache_dedup_collapsed"], ["cache_bytes_stored"]
-    — the names the obs report tables, JSON emission and the bench
-    "cache" table all share. Extras never appear in cache-disabled runs,
-    keeping golden metric vectors unchanged. *)
+    ["cache_evictions"], ["cache_dedup_collapsed"], ["cache_bytes_stored"],
+    ["cache_lock_contention"] — the names the obs report tables, JSON
+    emission and the bench "cache" table all share. Extras never appear
+    in cache-disabled runs, keeping golden metric vectors unchanged. *)
 
 (** {1 Disk-entry plumbing, exposed for tests} *)
 

@@ -119,6 +119,14 @@ module Pool = struct
       end
     end
 
+  (* One long-running body per domain of the pool. A domain cannot claim a
+     second index before its first body returns (the cursor is claimed one
+     task at a time and each domain runs exactly one), so [body] instances
+     run simultaneously on distinct domains for the whole call — the shape
+     a server needs to turn the batch pool into resident workers, each
+     with its warm scratch arena. *)
+  let run_workers t body = run t ~total:t.jobs body
+
   let map_array t f arr =
     let n = Array.length arr in
     let results = Array.make n None in

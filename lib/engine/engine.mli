@@ -32,6 +32,16 @@ module Pool : sig
   val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
   (** Parallel map with input-order results. *)
 
+  val run_workers : t -> (int -> unit) -> unit
+  (** [run_workers t body] runs [body 0 .. body (jobs t - 1)] with every
+      instance resident on its own domain simultaneously (the submitting
+      domain runs one too), returning when all have. This turns the batch
+      pool into a set of long-lived workers — each keeping its domain's
+      warm scratch arena — for callers like the serve loop that feed work
+      through their own queue instead of a batch: each [body] is expected
+      to loop until that queue closes. The pool is occupied for the whole
+      call; do not submit other batches concurrently. *)
+
   val shutdown : t -> unit
   (** Stop and join the worker domains. The pool must not be used after.
       Idempotent. *)

@@ -486,3 +486,18 @@ let pp_drift ppf d =
   Format.fprintf ppf "route %-12s %-38s golden %8d, now %8d (%+d, tolerance ±%g%%)"
     d.route d.counter d.expected d.actual (d.actual - d.expected)
     (100. *. d.tolerance)
+
+(* ------------------------------------------------------------------ *)
+(* Contention counters                                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Contention = struct
+  type counter = { name : string; cell : int Atomic.t }
+
+  let make name = { name; cell = Atomic.make 0 }
+  let hit c = Atomic.incr c.cell
+  let add c n = if n <> 0 then ignore (Atomic.fetch_and_add c.cell n)
+  let count c = Atomic.get c.cell
+  let name c = c.name
+  let publish c obs = add_extra obs c.name (count c)
+end

@@ -150,3 +150,39 @@ val compare_reports :
     is empty iff the reports agree within tolerance. *)
 
 val pp_drift : Format.formatter -> drift -> unit
+
+(** {1 Contention counters}
+
+    Lock-free named counters for the places recorders cannot go: hot
+    paths shared by many threads at once (the serve listener, session
+    admission, cache locks). A {!Contention.counter} is a single atomic
+    cell — safe to bump from any thread or domain with no lock — whose
+    total is published into an ordinary recorder as an extra counter at
+    a quiet moment (server drain, end of a bench run), so the
+    thread-unsafe recorder contract above is never violated. *)
+
+module Contention : sig
+  type counter
+  (** A named atomic counter, shared freely across threads/domains. *)
+
+  val make : string -> counter
+  (** [make name] is a fresh counter at 0; [name] becomes the extra
+      counter key used by {!publish}. *)
+
+  val hit : counter -> unit
+  (** Bump by one. Lock-free; safe from any thread. *)
+
+  val add : counter -> int -> unit
+  (** Bump by [n]. Lock-free; safe from any thread. *)
+
+  val count : counter -> int
+  (** Current total (a racy read is fine: the counter is monotonic). *)
+
+  val name : counter -> string
+  (** The name given to {!make}. *)
+
+  val publish : counter -> t -> unit
+  (** Record the current total into a recorder as the extra counter
+      [name] — call only after the threads bumping the counter have
+      quiesced, per the recorder's single-owner contract. *)
+end

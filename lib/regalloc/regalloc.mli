@@ -38,12 +38,44 @@ type result = {
       (** pre-rewrite register → color (index into the {e input}'s register
           space; spill temporaries are appended) *)
   stats : stats;
+  spill_array : string;
+      (** the array actually backing this function's spill slots — the
+          module-level {!spill_array} base name, suffixed if the source
+          program already uses it *)
 }
 
 exception Out_of_rounds of string
 
 val spill_array : string
-(** Name of the reserved array backing spill slots. *)
+(** Base name of the reserved array backing spill slots. The name actually
+    used for a given function is [result.spill_array]: it is guaranteed
+    fresh (never an array the source program loads or stores), so user data
+    can never alias spill slots. *)
+
+val try_color :
+  options:options ->
+  is_temp:(int -> bool) ->
+  Ir.func ->
+  Baseline.Igraph.t ->
+  float array ->
+  (int array, int list) Stdlib.result
+(** One simplify/select attempt with a low-degree worklist (min-heap), used
+    by {!run}. [Ok colors] maps every register to a color below
+    [options.registers]; [Error spills] lists the live ranges Briggs'
+    optimistic select could not color. [is_temp] marks spill temporaries
+    (considered for spilling only when nothing else remains); the float
+    array gives per-register spill costs. *)
+
+val try_color_reference :
+  options:options ->
+  is_temp:(int -> bool) ->
+  Ir.func ->
+  Baseline.Igraph.t ->
+  float array ->
+  (int array, int list) Stdlib.result
+(** The pre-worklist simplify loop (full rescans, O(n²)), kept as the
+    oracle for the differential test that pins {!try_color} to identical
+    colorings. *)
 
 val run : ?options:options -> Ir.func -> result
 (** The input must be φ-free. Raises {!Out_of_rounds} if spilling fails to

@@ -1,0 +1,49 @@
+(** Closed-loop load generator for the socket {!Server}.
+
+    Opens [clients] concurrent TCP connections, each issuing
+    [requests_per_client] tagged inline-compile requests back-to-back
+    (one outstanding request per connection), with bodies rotating
+    through a shared corpus of [distinct] generated programs so that the
+    same compilation is in flight on many connections at once — the
+    shape that exercises cross-client in-flight dedup. Reports
+    client-observed latency percentiles over successful replies,
+    separate busy/error counts, throughput, and the server's own final
+    [stats] counters. *)
+
+(** One load run's measurements. *)
+type result = {
+  clients : int;  (** concurrent connections driven *)
+  requests : int;  (** replies of any kind received *)
+  ok : int;  (** successful compile replies *)
+  busy : int;  (** ["err status=busy"] sheds observed *)
+  errors : int;  (** non-busy error replies (should be 0) *)
+  elapsed_s : float;  (** wall-clock for the whole run *)
+  throughput : float;  (** replies per second of wall-clock *)
+  p50_ms : float;  (** median ok-reply latency, milliseconds *)
+  p95_ms : float;  (** 95th-percentile ok-reply latency *)
+  p99_ms : float;  (** 99th-percentile ok-reply latency *)
+  server_stats : (string * int) list;
+      (** the server's final [stats] reply, parsed as k=v pairs
+          (served/shed/hits/misses/dedup/contention/...) *)
+}
+
+val corpus : distinct:int -> string list
+(** [distinct] syntactically distinct one-line mini-language programs,
+    each heavy enough that compiling it visibly costs more than a cache
+    hit. *)
+
+val run :
+  ?host:string ->
+  port:int ->
+  clients:int ->
+  requests_per_client:int ->
+  ?distinct:int ->
+  unit ->
+  result
+(** Drive the server at [host:port] ([""] = loopback; [distinct]
+    defaults to 16) and block until every client has finished and the
+    final stats have been read back. Raises [Invalid_argument] when
+    [clients] or [requests_per_client] is below 1. *)
+
+val pp : Format.formatter -> result -> unit
+(** Human-readable multi-line rendering of a {!result}. *)

@@ -29,4 +29,5 @@ let () =
       ("engine", Test_engine.suite);
       ("obs", Test_obs.suite);
       ("cache", Test_cache.suite);
+      ("serve", Test_serve.suite);
     ]
