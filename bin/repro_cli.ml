@@ -658,9 +658,9 @@ let serve_stdin ~jobs ~cache =
           let s = Cache.stats c in
           Printf.eprintf
             "# served %d request(s); cache hits=%d misses=%d evictions=%d \
-             dedup=%d bytes=%d\n%!"
+             disk_evictions=%d dedup=%d bytes=%d\n%!"
             !n s.Cache.hits s.Cache.misses s.Cache.evictions
-            s.Cache.dedup_collapsed s.Cache.bytes_stored)
+            s.Cache.disk_evictions s.Cache.dedup_collapsed s.Cache.bytes_stored)
         cache);
   0
 
@@ -683,10 +683,10 @@ let serve_socket ~config listen =
   in
   Printf.eprintf
     "# accepted=%d refused=%d served=%d shed=%d; cache hits=%d misses=%d \
-     dedup=%d contention=%d\n%!"
+     dedup=%d contention=%d disk_evictions=%d\n%!"
     c.Serve.Server.accepted c.Serve.Server.refused c.Serve.Server.served
     c.Serve.Server.shed s.Cache.hits s.Cache.misses s.Cache.dedup_collapsed
-    s.Cache.contention;
+    s.Cache.contention s.Cache.disk_evictions;
   0
 
 let serve_cmd =
@@ -863,10 +863,297 @@ let loadgen_cmd =
           server's own final counters")
     Term.(const run $ port $ host $ clients $ requests $ distinct)
 
+(* ------------------------------------------------------------------ *)
+(* corpus: generate and stream-compile large on-disk corpora           *)
+(* ------------------------------------------------------------------ *)
+
+(* The corpus subcommands exist to exercise the scale story: corpora of
+   10⁵–10⁶ functions streaming through the Domain pool with bounded
+   memory. Everything is deterministic in (seed, total, mix); the
+   manifest sitting next to a corpus file is enough to regenerate it. *)
+
+let parse_mix s =
+  match
+    Scanf.sscanf s "%d,%d,%d,%d" (fun kernels generated adversarial near_dups ->
+        { Workloads.Corpus.kernels; generated; adversarial; near_dups })
+  with
+  | m when Workloads.Corpus.(m.kernels + m.generated + m.adversarial
+                             + m.near_dups) > 0 -> m
+  | _ -> raise (Input_error ("corpus: mix weights must sum > 0: " ^ s))
+  | exception _ ->
+    raise
+      (Input_error
+         ("corpus: bad --mix (want KERNELS,GENERATED,ADVERSARIAL,NEAR_DUPS \
+           e.g. 2,5,1,2): " ^ s))
+
+let seed_arg =
+  Arg.(
+    value & opt int 42
+    & info [ "seed" ] ~doc:"Corpus derivation seed." ~docv:"N")
+
+let total_arg default =
+  Arg.(
+    value & opt int default
+    & info [ "total" ] ~doc:"Number of functions in the corpus." ~docv:"N")
+
+let mix_arg =
+  Arg.(
+    value & opt string "2,5,1,2"
+    & info [ "mix" ]
+        ~doc:
+          "Family weights $(docv): kernels (repeated verbatim — the \
+           warm-cache component), seeded generated programs, adversarial \
+           CFG shapes, and cache-hostile near-duplicates."
+        ~docv:"K,G,A,D")
+
+let corpus_gen_cmd =
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "out"; "o" ] ~doc:"Corpus file to write." ~docv:"PATH")
+  in
+  let run out total seed mix =
+    let spec =
+      { Workloads.Corpus.seed; total; mix = parse_mix mix }
+    in
+    let count, dt = Harness.Measure.wall (fun () ->
+        Workloads.Corpus.write out spec)
+    in
+    Printf.printf "wrote %s: %d function(s) in %.2f s (%.0f funcs/s)\n" out
+      count dt (float_of_int count /. Float.max dt 1e-9);
+    Printf.printf "manifest %s\n" (Workloads.Corpus.manifest_path out);
+    List.iter
+      (fun (name, n) -> Printf.printf "  %s %d\n" name n)
+      (Workloads.Corpus.family_counts spec);
+    0
+  in
+  Cmd.v
+    (Cmd.info "gen"
+       ~doc:
+         "Generate a deterministic corpus to a line-delimited file plus a \
+          reproducibility manifest")
+    Term.(const run $ out $ total_arg 2000 $ seed_arg $ mix_arg)
+
+let corpus_info_cmd =
+  let path =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+  in
+  let deep =
+    Arg.(
+      value & flag
+      & info [ "deep" ]
+          ~doc:
+            "Also stream-parse every function in the file and check the \
+             count against the manifest.")
+  in
+  let run path deep =
+    match Workloads.Corpus.read_manifest path with
+    | None ->
+      raise
+        (Input_error
+           (Workloads.Corpus.manifest_path path
+           ^ ": missing or malformed manifest"))
+    | Some m ->
+      let spec = m.Workloads.Corpus.spec in
+      Printf.printf "corpus %s\n" path;
+      Printf.printf "  seed %d\n  total %d\n  count %d\n"
+        spec.Workloads.Corpus.seed spec.Workloads.Corpus.total
+        m.Workloads.Corpus.count;
+      Printf.printf "  mix kernels=%d generated=%d adversarial=%d \
+                     near_dups=%d\n"
+        spec.Workloads.Corpus.mix.Workloads.Corpus.kernels
+        spec.Workloads.Corpus.mix.Workloads.Corpus.generated
+        spec.Workloads.Corpus.mix.Workloads.Corpus.adversarial
+        spec.Workloads.Corpus.mix.Workloads.Corpus.near_dups;
+      List.iter
+        (fun (name, n) -> Printf.printf "  family %s %d\n" name n)
+        (Workloads.Corpus.family_counts spec);
+      if deep then begin
+        let next = Workloads.Corpus.read_funcs path in
+        let n = ref 0 in
+        let rec loop () =
+          match next () with
+          | Some _ ->
+            incr n;
+            loop ()
+          | None -> ()
+        in
+        loop ();
+        Printf.printf "  parsed %d function(s)\n" !n;
+        if !n <> m.Workloads.Corpus.count then
+          raise
+            (Input_error
+               (Printf.sprintf
+                  "%s: file holds %d function(s) but manifest says %d" path
+                  !n m.Workloads.Corpus.count))
+      end;
+      0
+  in
+  Cmd.v
+    (Cmd.info "info"
+       ~doc:"Show (and optionally verify) a corpus file's manifest")
+    Term.(const run $ path $ deep)
+
+let corpus_compile_cmd =
+  let input =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "in"; "i" ]
+          ~doc:
+            "Stream functions from corpus file $(docv) instead of \
+             generating them on the fly."
+          ~docv:"PATH")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ]
+          ~doc:"Engine pool size (0 = one domain per core)." ~docv:"N")
+  in
+  let window =
+    Arg.(
+      value & opt int Engine.Stream.default_window
+      & info [ "window" ]
+          ~doc:"Reorder-window bound of the streaming core." ~docv:"N")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ] ~doc:"Translation-validate every compilation.")
+  in
+  let materialized =
+    Arg.(
+      value & flag
+      & info [ "materialized" ]
+          ~doc:
+            "Collect every input and report into lists (the pre-streaming \
+             batch mode) instead of streaming — the memory-comparison \
+             baseline; peak heap grows linearly with the corpus.")
+  in
+  let cache_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ]
+          ~doc:"Compile through a content-addressed cache persisted under \
+                $(docv)."
+          ~docv:"DIR")
+  in
+  let cache_capacity =
+    Arg.(
+      value & opt int 256
+      & info [ "cache-capacity" ]
+          ~doc:"In-memory cache entries to keep (LRU)." ~docv:"N")
+  in
+  let disk_capacity =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cache-disk-capacity" ]
+          ~doc:
+            "Cap the disk tier at $(docv) entries (oldest-mtime eviction)."
+          ~docv:"N")
+  in
+  let run input total seed mix jobs window check materialized cache_dir
+      cache_capacity disk_capacity =
+    let jobs = if jobs = 0 then Engine.default_jobs () else jobs in
+    let cache =
+      match cache_dir with
+      | None -> None
+      | Some dir ->
+        Some
+          (Cache.create ~capacity:cache_capacity ~dir ~shards:8
+             ?disk_capacity ())
+    in
+    let producer () =
+      match input with
+      | Some path -> Workloads.Corpus.read_funcs path
+      | None ->
+        Workloads.Corpus.producer
+          { Workloads.Corpus.seed; total; mix = parse_mix mix }
+    in
+    let pipeline =
+      Driver.Pipeline.passes_of_config Driver.Pipeline.default
+    in
+    let watch = Harness.Measure.heap_watch () in
+    let compiled = ref 0 in
+    let (), dt =
+      Harness.Measure.wall (fun () ->
+          Engine.Pool.with_pool ~jobs (fun pool ->
+              if materialized then begin
+                (* The baseline the streaming core replaces: read the whole
+                   corpus into a list, compile it to a list of reports. *)
+                let funcs =
+                  let next = producer () in
+                  let rec all acc =
+                    match next () with
+                    | Some f -> all (f :: acc)
+                    | None -> List.rev acc
+                  in
+                  all []
+                in
+                let reports =
+                  Driver.Pipeline.compile_batch_passes_in pool ~check ?cache
+                    pipeline funcs
+                in
+                compiled := List.length reports;
+                Harness.Measure.heap_sample watch
+              end
+              else
+                Driver.Pipeline.stream_passes_in pool ~check ~window ?cache
+                  ~producer:(producer ())
+                  ~consumer:(fun _ _ ->
+                    incr compiled;
+                    Harness.Measure.heap_sample watch)
+                  pipeline))
+    in
+    let peak = Harness.Measure.heap_peak_words watch in
+    Printf.printf
+      "compiled %d function(s) in %.2f s: %.0f funcs/s (%.0f per core, \
+       jobs=%d, %s)\n"
+      !compiled dt
+      (float_of_int !compiled /. Float.max dt 1e-9)
+      (float_of_int !compiled /. Float.max dt 1e-9 /. float_of_int jobs)
+      jobs
+      (if materialized then "materialized" else
+         Printf.sprintf "streaming window=%d" window);
+    Printf.printf "peak heap %d words (baseline %d)\n" peak
+      (peak - Harness.Measure.heap_growth_words watch);
+    Option.iter
+      (fun c ->
+        let s = Cache.stats c in
+        Printf.printf
+          "cache hits=%d misses=%d evictions=%d disk_evictions=%d dedup=%d\n"
+          s.Cache.hits s.Cache.misses s.Cache.evictions s.Cache.disk_evictions
+          s.Cache.dedup_collapsed)
+      cache;
+    0
+  in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:
+         "Stream-compile a corpus (from a file or generated on the fly) \
+          through the engine pool with bounded memory, reporting \
+          throughput, peak heap words, and cache stats")
+    Term.(
+      const run $ input $ total_arg 10_000 $ seed_arg $ mix_arg $ jobs
+      $ window $ check $ materialized $ cache_dir $ cache_capacity
+      $ disk_capacity)
+
+let corpus_cmd =
+  Cmd.group
+    (Cmd.info "corpus"
+       ~doc:
+         "Million-function corpora: deterministic generation to disk and \
+          streaming batch compilation with bounded memory")
+    [ corpus_gen_cmd; corpus_compile_cmd; corpus_info_cmd ]
+
 let subcommands =
   [
     dump_cmd; run_cmd; compare_cmd; alloc_cmd; opt_cmd; dot_cmd; fuzz_cmd;
-    report_cmd; serve_cmd; loadgen_cmd;
+    report_cmd; serve_cmd; loadgen_cmd; corpus_cmd;
   ]
 
 (* An unknown subcommand is an input error like any other: exit 2 with a

@@ -51,6 +51,7 @@ type stats = {
   dedup_collapsed : int;
   bytes_stored : int;
   contention : int;
+  disk_evictions : int;
 }
 
 let zero_stats =
@@ -61,6 +62,7 @@ let zero_stats =
     dedup_collapsed = 0;
     bytes_stored = 0;
     contention = 0;
+    disk_evictions = 0;
   }
 
 let add_stats a b =
@@ -71,6 +73,7 @@ let add_stats a b =
     dedup_collapsed = a.dedup_collapsed + b.dedup_collapsed;
     bytes_stored = a.bytes_stored + b.bytes_stored;
     contention = a.contention + b.contention;
+    disk_evictions = a.disk_evictions + b.disk_evictions;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -102,9 +105,15 @@ type shard = {
 type t = {
   requested_capacity : int;
   disk_dir : string option;
+  disk_capacity : int option;
   shards : shard array;
   contention : int Atomic.t;
       (* try_lock misses — lock acquisitions that had to block *)
+  disk_count : int Atomic.t;
+      (* approximate live disk-entry count; resynced from a directory
+         walk whenever an eviction sweep runs *)
+  disk_evictions : int Atomic.t;
+  disk_lock : Mutex.t;  (* serializes eviction sweeps, never stores *)
 }
 
 let shard_of t key = t.shards.(Hashtbl.hash key mod Array.length t.shards)
@@ -128,14 +137,38 @@ let rec mkdir_p path =
     with Sys_error _ when Sys.is_directory path -> ()
   end
 
-let create ?(capacity = 256) ?dir ?(shards = 1) () =
+let entry_suffix = ".repro-cache"
+
+(* Every disk entry under [dir], one fan-out level deep: dir/xy/<key>.repro-
+   cache where xy is the key's leading byte in hex. Tolerates foreign files
+   (skipped) and concurrent deletion (a vanished subdir reads as empty). *)
+let disk_entry_paths dir =
+  let readdir d = try Sys.readdir d with Sys_error _ -> [||] in
+  let acc = ref [] in
+  Array.iter
+    (fun sub ->
+      let subdir = Filename.concat dir sub in
+      if try Sys.is_directory subdir with Sys_error _ -> false then
+        Array.iter
+          (fun f ->
+            if Filename.check_suffix f entry_suffix then
+              acc := Filename.concat subdir f :: !acc)
+          (readdir subdir))
+    (readdir dir);
+  !acc
+
+let create ?(capacity = 256) ?dir ?(shards = 1) ?disk_capacity () =
   Option.iter mkdir_p dir;
   let capacity = max 1 capacity in
   let nshards = max 1 shards in
   let per_shard = max 1 (capacity / nshards) in
+  let initial_disk_count =
+    match dir with None -> 0 | Some d -> List.length (disk_entry_paths d)
+  in
   {
     requested_capacity = capacity;
     disk_dir = dir;
+    disk_capacity = Option.map (max 1) disk_capacity;
     shards =
       Array.init nshards (fun _ ->
           {
@@ -148,11 +181,15 @@ let create ?(capacity = 256) ?dir ?(shards = 1) () =
             stats = zero_stats;
           });
     contention = Atomic.make 0;
+    disk_count = Atomic.make initial_disk_count;
+    disk_evictions = Atomic.make 0;
+    disk_lock = Mutex.create ();
   }
 
 let capacity t = t.requested_capacity
 let shards t = Array.length t.shards
 let dir t = t.disk_dir
+let disk_capacity t = t.disk_capacity
 
 let stats t =
   let s =
@@ -160,7 +197,11 @@ let stats t =
       (fun acc sh -> add_stats acc (locked t sh (fun () -> sh.stats)))
       zero_stats t.shards
   in
-  { s with contention = Atomic.get t.contention }
+  {
+    s with
+    contention = Atomic.get t.contention;
+    disk_evictions = Atomic.get t.disk_evictions;
+  }
 
 let note_dedup t n =
   let sh = t.shards.(0) in
@@ -262,14 +303,65 @@ let deserialize text =
     | _ -> None
   with _ -> None
 
+(* Fan-out: dir/xy/<key>.repro-cache, where xy is the key's leading byte
+   in hex — 256 subdirectories, so a 10⁶-entry tier puts ~4k files per
+   directory instead of 10⁶ in one flat listing, and parallel serve
+   processes sharing [dir] spread their creates across 256 inodes. *)
+let disk_subdir key =
+  if String.length key >= 2 then String.sub key 0 2 else "00"
+
 let disk_path t key =
-  Option.map (fun d -> Filename.concat d (key ^ ".repro-cache")) t.disk_dir
+  Option.map
+    (fun d -> Filename.concat (Filename.concat d (disk_subdir key))
+        (key ^ entry_suffix))
+    t.disk_dir
 
 let read_file path =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Entry-cap enforcement: when the (approximate) live count exceeds the
+   cap, one sweep walks the tier, resyncs the count against reality, and
+   deletes oldest-mtime entries down to a target below the cap — the
+   hysteresis amortizes the directory walk over many stores instead of
+   paying one per store at the boundary. Sweeps serialize on [disk_lock]
+   (stores never take it), and a concurrently-deleted file is simply not
+   counted. mtime order is the disk tier's LRU: a promote-on-hit does not
+   refresh mtime, so this is oldest-{e version} eviction — the entries
+   written longest ago go first, ties broken by path for determinism. *)
+let disk_enforce_cap t =
+  match (t.disk_dir, t.disk_capacity) with
+  | Some dir, Some cap when Atomic.get t.disk_count > cap ->
+    if Mutex.try_lock t.disk_lock then
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.disk_lock)
+        (fun () ->
+          let paths = disk_entry_paths dir in
+          Atomic.set t.disk_count (List.length paths);
+          let target = max 1 (cap - (cap / 8)) in
+          let excess = Atomic.get t.disk_count - target in
+          if excess > 0 then begin
+            let dated =
+              List.filter_map
+                (fun p ->
+                  match Unix.stat p with
+                  | st -> Some (st.Unix.st_mtime, p)
+                  | exception _ -> None)
+                paths
+            in
+            List.iteri
+              (fun i (_, p) ->
+                if i < excess then
+                  try
+                    Sys.remove p;
+                    Atomic.decr t.disk_count;
+                    Atomic.incr t.disk_evictions
+                  with _ -> ())
+              (List.sort compare dated)
+          end)
+  | _ -> ()
 
 (* Atomic publication: write a private temp file, then rename into place.
    Readers only ever see complete entries; concurrent writers of the same
@@ -283,13 +375,17 @@ let disk_store t key report =
       Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
         (Domain.self () :> int)
     in
-    try
-      let oc = open_out_bin tmp in
-      Fun.protect
-        ~finally:(fun () -> close_out oc)
-        (fun () -> output_string oc (serialize ~key report));
-      Sys.rename tmp path
-    with _ -> ( try Sys.remove tmp with _ -> ()))
+    (try
+       mkdir_p (Filename.dirname path);
+       let oc = open_out_bin tmp in
+       Fun.protect
+         ~finally:(fun () -> close_out oc)
+         (fun () -> output_string oc (serialize ~key report));
+       let fresh = not (Sys.file_exists path) in
+       Sys.rename tmp path;
+       if fresh then Atomic.incr t.disk_count
+     with _ -> ( try Sys.remove tmp with _ -> ()));
+    disk_enforce_cap t)
 
 let disk_find t key =
   match disk_path t key with
@@ -301,7 +397,10 @@ let disk_find t key =
       | Some (k, report) when k = key -> Some report
       | Some _ | None | (exception _) ->
         (* Corrupt or mis-addressed: drop it so the next write heals. *)
-        (try Sys.remove path with _ -> ());
+        (try
+           Sys.remove path;
+           Atomic.decr t.disk_count
+         with _ -> ());
         None
     end
 
@@ -464,4 +563,6 @@ let record_extras t ~since obs =
   Obs.add_extra obs "cache_dedup_collapsed"
     (s.dedup_collapsed - since.dedup_collapsed);
   Obs.add_extra obs "cache_bytes_stored" (s.bytes_stored - since.bytes_stored);
-  Obs.add_extra obs "cache_lock_contention" (s.contention - since.contention)
+  Obs.add_extra obs "cache_lock_contention" (s.contention - since.contention);
+  Obs.add_extra obs "cache_disk_evictions"
+    (s.disk_evictions - since.disk_evictions)

@@ -48,18 +48,30 @@ type stats = {
       (** shard-lock acquisitions that found the lock held and had to
           block — the serve path's measure of how hot the cache mutexes
           run under concurrent sessions *)
+  disk_evictions : int;
+      (** disk-tier entries deleted by the entry-cap sweep (only ever
+          non-zero when [disk_capacity] is set) *)
 }
 
-val create : ?capacity:int -> ?dir:string -> ?shards:int -> unit -> t
+val create :
+  ?capacity:int -> ?dir:string -> ?shards:int -> ?disk_capacity:int ->
+  unit -> t
 (** [create ()] is a memory-only cache holding at most [capacity]
     (default 256) reports. With [dir], entries are also persisted under
     [dir] (created if missing) and survive the process; the memory tier
-    then acts as the hot front of the disk tier. [shards] (default 1)
-    splits the memory tier into independently-locked shards so
-    concurrent sessions touching different keys never serialize on one
-    mutex; with one shard the LRU is exactly global (the deterministic
-    eviction order older tests rely on), with [n] shards each shard runs
-    its own LRU over [capacity/n] entries. Raises [Sys_error] only if
+    then acts as the hot front of the disk tier. On disk, entries fan out
+    into 256 subdirectories keyed by the leading byte of the key's hex
+    form ([dir/ab/<key>.repro-cache]) so a million-entry tier never puts
+    a million files in one flat listing. [shards] (default 1) splits the
+    memory tier into independently-locked shards so concurrent sessions
+    touching different keys never serialize on one mutex; with one shard
+    the LRU is exactly global (the deterministic eviction order older
+    tests rely on), with [n] shards each shard runs its own LRU over
+    [capacity/n] entries. [disk_capacity] (default unbounded) caps the
+    disk tier's {e entry count}: when a store pushes the count past the
+    cap, a sweep deletes oldest-mtime entries down to ⅞ of the cap
+    (hysteresis, so the directory walk amortizes over many stores) and
+    counts each deletion in [disk_evictions]. Raises [Sys_error] only if
     [dir] is given and cannot be created. *)
 
 val capacity : t -> int
@@ -69,6 +81,9 @@ val shards : t -> int
 
 val dir : t -> string option
 (** The disk-tier directory, if one was configured. *)
+
+val disk_capacity : t -> int option
+(** The disk tier's entry cap, if one was configured. *)
 
 val key : pipeline:Pass.Pipeline.t -> check:bool -> Ir.func -> string
 (** The content address of compiling [f] through [pipeline]: a 32-hex-char
@@ -115,9 +130,10 @@ val record_extras : t -> since:stats -> Obs.t -> unit
 (** Publish the counter deltas since [since] into an {!Obs} recorder as
     the extra counters ["cache_hits"], ["cache_misses"],
     ["cache_evictions"], ["cache_dedup_collapsed"], ["cache_bytes_stored"],
-    ["cache_lock_contention"] — the names the obs report tables, JSON
-    emission and the bench "cache" table all share. Extras never appear
-    in cache-disabled runs, keeping golden metric vectors unchanged. *)
+    ["cache_lock_contention"], ["cache_disk_evictions"] — the names the
+    obs report tables, JSON emission and the bench "cache" table all
+    share. Extras never appear in cache-disabled runs, keeping golden
+    metric vectors unchanged. *)
 
 (** {1 Disk-entry plumbing, exposed for tests} *)
 

@@ -75,37 +75,55 @@ let compile ?(config = default) ?check ?scratch ?obs (input : Ir.func) =
 let compile_source ?config ?check source =
   List.map (fun f -> compile ?config ?check f) (Frontend.Lower.compile source)
 
-(* Batch compilation across domains: the per-function work is a pure
+(* Streaming compilation across domains: the per-function work is a pure
    function of the input (fresh arenas per domain, deterministic passes),
-   so results are input-ordered and identical to sequential compilation.
-   Pass values are immutable closures over their options, safe to share
-   across the pool's domains. *)
-let batch_uncached_in pool ~check ?obs passes (inputs : Ir.func list) =
-  match obs with
-  | None ->
-    Engine.map_in pool
-      (fun f -> Pass.run ~check ~scratch:(Support.Scratch.domain ()) passes f)
-      inputs
-  | Some into ->
-    (* One private recorder per task (recorders are not thread-safe),
-       merged at the join in input order: totals are deterministic because
-       counter addition is commutative, and no domain ever contends on the
-       caller's recorder. *)
-    let results =
-      Engine.map_in pool
-        (fun f ->
-          let o = Obs.create () in
-          let r =
-            Pass.run ~check ~scratch:(Support.Scratch.domain ()) ~obs:o passes f
-          in
-          (r, o))
-        inputs
+   so reports reach the consumer in input order and identical to
+   sequential compilation. Pass values are immutable closures over their
+   options, safe to share across the pool's domains. With a recorder, one
+   private recorder per item (recorders are not thread-safe) is merged
+   into the caller's at the in-order emission frontier, so aggregated
+   counters and span order are deterministic. With a cache, every item
+   goes through {!Cache.compute_through} — the serve path's read-through
+   door — so concurrent identical items collapse onto one in-flight
+   compilation and warm items never reach the pass manager at all. *)
+let stream_passes_in pool ?(check = false) ?window ?obs ?cache ~producer
+    ~consumer passes =
+  let since =
+    match cache with Some c -> Cache.stats c | None -> Cache.zero_stats
+  in
+  let task f =
+    let o = Option.map (fun _ -> Obs.create ()) obs in
+    let fresh () =
+      Pass.run ~check ~scratch:(Support.Scratch.domain ()) ?obs:o passes f
     in
-    List.map
-      (fun (r, o) ->
-        Obs.merge ~into o;
-        r)
-      results
+    let r =
+      match cache with
+      | None -> fresh ()
+      | Some c ->
+        let key = Cache.key ~pipeline:passes ~check f in
+        snd (Cache.compute_through c key fresh)
+    in
+    (r, o)
+  in
+  Engine.Stream.run pool ?window ~producer
+    ~consumer:(fun seq (r, o) ->
+      (match (obs, o) with
+      | Some into, Some o -> Obs.merge ~into o
+      | _ -> ());
+      consumer seq r)
+    task;
+  match (cache, obs) with
+  | Some c, Some o -> Cache.record_extras c ~since o
+  | _ -> ()
+
+(* The list-batch form is a façade over the stream. *)
+let batch_uncached_in pool ~check ?obs passes (inputs : Ir.func list) =
+  let acc = ref [] in
+  stream_passes_in pool ~check ?obs
+    ~producer:(Engine.Stream.of_list inputs)
+    ~consumer:(fun _ r -> acc := r :: !acc)
+    passes;
+  List.rev !acc
 
 (* With a cache: every item is probed (so warm batches report one hit per
    item, duplicates included), then the missing work is deduplicated by

@@ -146,5 +146,34 @@ val compile_batch_passes_in :
     serve loop, repeated benchmark batches) pay the domain-spawn cost once
     and keep each domain's scratch arena warm across batches. *)
 
+val stream_passes_in :
+  Engine.Pool.t ->
+  ?check:bool ->
+  ?window:int ->
+  ?obs:Obs.t ->
+  ?cache:Cache.t ->
+  producer:(unit -> Ir.func option) ->
+  consumer:(int -> report -> unit) ->
+  Pass.Pipeline.t ->
+  unit
+(** The streaming core the batch API sits on: pull functions from
+    [producer] until it yields [None], compile them across the pool, and
+    hand each report to [consumer seq report] in input order from a
+    bounded reorder window (see {!Engine.Stream.run} — [window] defaults
+    to {!Engine.Stream.default_window}). Memory in flight is [O(window)]
+    reports no matter how many functions the producer yields, which is
+    what lets a 10⁵–10⁶-function corpus flow through a fixed-size heap.
+
+    [obs] aggregates without contention exactly as in
+    {!compile_batch_passes}: one private recorder per item, merged at the
+    emission frontier in input order. With [cache], each item goes
+    through {!Cache.compute_through}: warm items are hits that skip the
+    pass manager, identical items in flight at once collapse onto one
+    compilation ([cache_dedup_collapsed]), and the cache stat deltas for
+    the whole stream are published to [obs] at the end. Unlike
+    {!compile_batch_passes}, duplicates are {e not} pre-deduplicated
+    against the rest of the batch — a stream has no batch to scan — so a
+    later duplicate of an already-emitted item is an ordinary warm hit. *)
+
 val pp_report : Format.formatter -> report -> unit
 (** The per-stage notes, one per line. *)

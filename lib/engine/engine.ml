@@ -154,8 +154,130 @@ module Pool = struct
     Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 end
 
+module Stream = struct
+  let default_window = 64
+
+  (* jobs = 1: no queue, no ring — a plain pull/compute/emit loop. This is
+     also the semantic reference the parallel path must match. *)
+  let run_seq ~producer ~consumer f =
+    let rec loop seq =
+      match producer () with
+      | None -> ()
+      | Some x ->
+        consumer seq (f x);
+        loop (seq + 1)
+    in
+    loop 0
+
+  (* The parallel path. One domain of the pool (the caller, which claims
+     body index 0 first) pulls items from [producer] and pushes
+     (seq, item) pairs through a bounded queue; every domain — the
+     producer included, once the input is exhausted — pops, computes, and
+     hands the result to [submit]. [submit] parks results in a
+     [window]-sized ring indexed by [seq mod window] and advances the
+     in-order emission frontier under one mutex, calling [consumer] for
+     each result as it becomes the frontier.
+
+     Memory is bounded by construction, not by luck: the producer is
+     admission-gated — it waits while [seq - next_emit >= window] — so
+     every live sequence number (queued, computing, or parked) lies in
+     [next_emit, next_emit + window). That both caps the number of
+     results alive at once and guarantees distinct live sequences map to
+     distinct ring slots.
+
+     Errors keep the frontier semantics of the batch API: the first
+     exception to {e reach the frontier} (equivalently, the lowest-seq
+     failing item) is recorded, later results are drained but not
+     emitted, the producer stops pulling new input, and the exception is
+     re-raised after the pool quiesces. A [consumer] exception is treated
+     the same way. *)
+  let run_par pool ~window ~producer ~consumer f =
+    let q = Support.Bqueue.create ~capacity:window in
+    let ring = Array.make window None in
+    let lock = Mutex.create () in
+    let space = Condition.create () in
+    let next_emit = ref 0 in
+    let first_error = ref None in
+    let submit seq r =
+      Mutex.lock lock;
+      ring.(seq mod window) <- Some r;
+      let advanced = ref false in
+      let rec advance () =
+        match ring.(!next_emit mod window) with
+        | None -> ()
+        | Some r ->
+          ring.(!next_emit mod window) <- None;
+          (match r with
+          | Ok v ->
+            if !first_error = None then (
+              try consumer !next_emit v
+              with e -> first_error := Some e)
+          | Error e -> if !first_error = None then first_error := Some e);
+          incr next_emit;
+          advanced := true;
+          advance ()
+      in
+      advance ();
+      if !advanced then Condition.broadcast space;
+      Mutex.unlock lock
+    in
+    let work () =
+      let rec loop () =
+        match Support.Bqueue.pop q with
+        | None -> ()
+        | Some (seq, x) ->
+          submit seq (try Ok (f x) with e -> Error e);
+          loop ()
+      in
+      loop ()
+    in
+    let produce () =
+      let seq = ref 0 in
+      let stop = ref false in
+      while not !stop do
+        Mutex.lock lock;
+        while !first_error = None && !seq - !next_emit >= window do
+          Condition.wait space lock
+        done;
+        let failed = !first_error <> None in
+        Mutex.unlock lock;
+        if failed then stop := true
+        else
+          match producer () with
+          | None -> stop := true
+          | Some x ->
+            Support.Bqueue.push q (!seq, x);
+            incr seq
+      done;
+      Support.Bqueue.close q
+    in
+    Pool.run_workers pool (fun i ->
+        if i = 0 then produce ();
+        work ());
+    match !first_error with Some e -> raise e | None -> ()
+
+  let run pool ?(window = default_window) ~producer ~consumer f =
+    if window < 1 then invalid_arg "Engine.Stream.run: window must be >= 1";
+    if Pool.jobs pool <= 1 then run_seq ~producer ~consumer f
+    else run_par pool ~window ~producer ~consumer f
+
+  let of_list l =
+    let remaining = ref l in
+    fun () ->
+      match !remaining with
+      | [] -> None
+      | x :: tl ->
+        remaining := tl;
+        Some x
+end
+
 let map_in pool f l =
-  Array.to_list (Pool.map_array pool f (Array.of_list l))
+  let acc = ref [] in
+  Stream.run pool
+    ~producer:(Stream.of_list l)
+    ~consumer:(fun _ v -> acc := v :: !acc)
+    f;
+  List.rev !acc
 
 let map ?jobs f l = Pool.with_pool ?jobs (fun pool -> map_in pool f l)
 
@@ -172,27 +294,23 @@ let compile_one ?options ?obs f =
 
 (* With a recorder: every task records into its own recorder (recorders are
    not thread-safe), and the per-task recorders are merged into the caller's
-   at the join — in input order, so span ordering is deterministic too.
-   Counters are sums, so totals are independent of the scheduling. *)
+   as each result crosses the stream's in-order emission frontier — input
+   order, so span ordering is deterministic too. Counters are sums, so
+   totals are independent of the scheduling. *)
 let compile_batch_in pool ?options ?obs funcs =
   match obs with
-  | None ->
-    Array.to_list
-      (Pool.map_array pool (compile_one ?options) (Array.of_list funcs))
+  | None -> map_in pool (compile_one ?options) funcs
   | Some into ->
-    let results =
-      Pool.map_array pool
-        (fun f ->
-          let o = Obs.create () in
-          (compile_one ?options ~obs:o f, o))
-        (Array.of_list funcs)
-    in
-    Array.to_list
-      (Array.map
-         (fun (r, o) ->
-           Obs.merge ~into o;
-           r)
-         results)
+    let acc = ref [] in
+    Stream.run pool
+      ~producer:(Stream.of_list funcs)
+      ~consumer:(fun _ (r, o) ->
+        Obs.merge ~into o;
+        acc := r :: !acc)
+      (fun f ->
+        let o = Obs.create () in
+        (compile_one ?options ~obs:o f, o));
+    List.rev !acc
 
 let compile_batch ?jobs ?options ?obs funcs =
   Pool.with_pool ?jobs (fun pool -> compile_batch_in pool ?options ?obs funcs)

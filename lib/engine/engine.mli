@@ -53,6 +53,46 @@ end
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()]. *)
 
+(** Streaming execution over the pool — the core the batch API is a façade
+    over.
+
+    A producer iterator feeds the pool through a bounded
+    {!Support.Bqueue}; results are handed to a consumer callback {e in
+    input order} from a bounded reorder window. Total memory in flight is
+    [O(window)] items regardless of how many items the producer yields,
+    which is what lets a 10⁶-function corpus flow through a fixed-size
+    heap: the producer is admission-gated against the emission frontier,
+    so at most [window] items are ever queued, computing, or parked
+    awaiting reordering. *)
+module Stream : sig
+  val default_window : int
+  (** Reorder-window (and queue-capacity) default: 64. *)
+
+  val run :
+    Pool.t ->
+    ?window:int ->
+    producer:(unit -> 'a option) ->
+    consumer:(int -> 'b -> unit) ->
+    ('a -> 'b) ->
+    unit
+  (** [run pool ~producer ~consumer f] pulls items from [producer] until
+      it yields [None], computes [f] on pool domains, and calls
+      [consumer seq result] for sequence numbers [0, 1, 2, ...] in order.
+      [producer] is only ever called from one domain at a time and needs
+      no internal locking; [consumer] runs under the stream's emission
+      lock (never concurrently with itself) but may run on any domain.
+      With a 1-job pool this is exactly a sequential pull/compute/emit
+      loop. If [f] raises, the exception of the lowest-sequence failing
+      item is re-raised after in-flight work drains; results beyond that
+      sequence are discarded unseen, and the producer stops early. A
+      [consumer] exception is handled the same way. Raises
+      [Invalid_argument] if [window < 1]. *)
+
+  val of_list : 'a list -> unit -> 'a option
+  (** A producer that yields the elements of a list in order — the shim
+      the list-batch façade feeds to {!run}. *)
+end
+
 val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** One-shot parallel map over a list (pool created and shut down
     internally); input-order results. *)
@@ -60,7 +100,9 @@ val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 val map_in : Pool.t -> ('a -> 'b) -> 'a list -> 'b list
 (** {!map} on an existing pool, so long-lived drivers (the serve loop,
     repeated batches) pay the domain-spawn cost once and keep each
-    domain's scratch arena warm across batches. *)
+    domain's scratch arena warm across batches. Implemented as
+    {!Stream.run} over {!Stream.of_list} with an accumulating consumer —
+    the list API is a façade over the streaming core. *)
 
 type compiled = {
   func : Ir.func;  (** φ-free output of the paper's coalescer *)

@@ -1,53 +1,5 @@
-(* A bounded multi-producer multi-consumer queue — the server's pending-
-   request buffer and the hinge of its backpressure story. Producers never
-   block: a full (or closed) queue refuses the push and the caller sheds
-   the request with a busy reply instead of queueing unboundedly.
-   Consumers block until an item arrives or the queue is closed and
-   drained. *)
+(* The queue moved to lib/support so the streaming batch engine can share
+   it without a serve dependency; this alias keeps the serve-local name
+   (and every existing caller) intact. *)
 
-type 'a t = {
-  capacity : int;
-  q : 'a Queue.t;
-  lock : Mutex.t;
-  nonempty : Condition.t;
-  mutable closed : bool;
-}
-
-let create ~capacity =
-  if capacity < 1 then invalid_arg "Bqueue.create: capacity must be >= 1";
-  {
-    capacity;
-    q = Queue.create ();
-    lock = Mutex.create ();
-    nonempty = Condition.create ();
-    closed = false;
-  }
-
-let locked t f =
-  Mutex.lock t.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
-
-let try_push t x =
-  locked t (fun () ->
-      if t.closed || Queue.length t.q >= t.capacity then false
-      else begin
-        Queue.add x t.q;
-        Condition.signal t.nonempty;
-        true
-      end)
-
-let pop t =
-  locked t (fun () ->
-      while Queue.is_empty t.q && not t.closed do
-        Condition.wait t.nonempty t.lock
-      done;
-      if Queue.is_empty t.q then None else Some (Queue.take t.q))
-
-let close t =
-  locked t (fun () ->
-      t.closed <- true;
-      Condition.broadcast t.nonempty)
-
-let length t = locked t (fun () -> Queue.length t.q)
-let capacity t = t.capacity
-let is_closed t = locked t (fun () -> t.closed)
+include Support.Bqueue

@@ -1,36 +1,7 @@
-(** Bounded multi-producer multi-consumer queue.
+(** Re-export of {!Support.Bqueue}, which owns the implementation — the
+    queue is shared with the streaming batch engine, so it lives in
+    [lib/support] where both layers can reach it. *)
 
-    The admission-control primitive of the serve subsystem: producers
-    {e never block} — {!try_push} refuses when the queue is at capacity
-    (or closed), which is the signal to shed the request with a busy
-    reply — while consumers block in {!pop} until work arrives or the
-    queue is closed and drained. All operations are safe from any thread
-    or domain. *)
-
-type 'a t
-
-val create : capacity:int -> 'a t
-(** A queue holding at most [capacity] items. Raises [Invalid_argument]
-    if [capacity < 1]. *)
-
-val try_push : 'a t -> 'a -> bool
-(** Enqueue without blocking: [false] when the queue is full or closed
-    (the item is not enqueued — shed it), [true] otherwise. *)
-
-val pop : 'a t -> 'a option
-(** Block until an item is available and dequeue it; [None] once the
-    queue is closed {e and} drained — the consumer's signal to exit. *)
-
-val close : 'a t -> unit
-(** Refuse all future pushes and wake every blocked consumer. Items
-    already queued are still delivered ([pop] drains before returning
-    [None]). Idempotent. *)
-
-val length : 'a t -> int
-(** Items currently queued (racy snapshot, exact under the lock). *)
-
-val capacity : 'a t -> int
-(** The bound given to {!create}. *)
-
-val is_closed : 'a t -> bool
-(** Whether {!close} has been called. *)
+include module type of struct
+  include Support.Bqueue
+end

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Corpus end-to-end smoke: generate a 2k-function corpus into a temp dir,
+# verify its manifest (deep scan reparses every line), stream-compile it
+# cold and then warm through an on-disk cache, and require the warm run to
+# actually hit. Run via the @corpus-smoke dune alias.
+set -u
+
+CLI="$1"
+fail() { echo "corpus-smoke: $1" >&2; exit 1; }
+
+dir=$(mktemp -d)
+cleanup() { rm -rf "$dir"; }
+trap cleanup EXIT
+corpus="$dir/smoke.corpus"
+
+# Generate: deterministic, manifest written alongside.
+"$CLI" corpus gen --out "$corpus" --total 2000 --seed 11 >"$dir/gen.out" \
+  || fail "corpus gen failed"
+grep -q "^wrote $corpus: 2000 function(s)" "$dir/gen.out" \
+  || fail "gen did not report 2000 functions: $(cat "$dir/gen.out")"
+[ -f "$corpus.manifest" ] || fail "manifest not written"
+
+# Manifest + deep verification: every line must parse, count must match.
+"$CLI" corpus info --deep "$corpus" >"$dir/info.out" \
+  || fail "corpus info --deep failed"
+grep -q "total 2000" "$dir/info.out" || fail "manifest total wrong"
+grep -q "parsed 2000 function(s)" "$dir/info.out" \
+  || fail "deep scan did not parse 2000 functions: $(cat "$dir/info.out")"
+
+# Cold streaming compile through a fresh on-disk cache tier.
+"$CLI" corpus compile --in "$corpus" --jobs 2 --cache-dir "$dir/cache" \
+  >"$dir/cold.out" || fail "cold compile failed"
+grep -q "^compiled 2000 function(s)" "$dir/cold.out" \
+  || fail "cold run did not compile 2000 functions: $(cat "$dir/cold.out")"
+grep -q "streaming window=" "$dir/cold.out" || fail "cold run not streaming"
+grep -q "^peak heap [0-9]* words" "$dir/cold.out" \
+  || fail "cold run reported no peak heap"
+
+# Warm rerun: the disk tier must serve hits now.
+"$CLI" corpus compile --in "$corpus" --jobs 2 --cache-dir "$dir/cache" \
+  >"$dir/warm.out" || fail "warm compile failed"
+grep -q "^compiled 2000 function(s)" "$dir/warm.out" \
+  || fail "warm run did not compile 2000 functions"
+hits=$(sed -n 's/^cache hits=\([0-9]*\).*/\1/p' "$dir/warm.out")
+[ -n "$hits" ] || fail "warm run printed no cache stats"
+[ "$hits" -gt 0 ] || fail "warm run had zero cache hits: $(cat "$dir/warm.out")"
+
+echo "corpus-smoke: ok (warm hits=$hits)"

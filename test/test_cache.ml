@@ -10,6 +10,21 @@ let default_pipeline () =
 
 let spec_pipeline spec = Result.get_ok (Pass.Spec.parse spec)
 
+(* The disk tier fans entries out into per-key-prefix subdirectories, so
+   walking and cleaning a cache directory is a two-level affair. *)
+let rec rm_tree path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_tree (Filename.concat path f)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let rec disk_entry_files dir =
+  Array.to_list (Sys.readdir dir)
+  |> List.concat_map (fun f ->
+         let p = Filename.concat dir f in
+         if Sys.is_directory p then disk_entry_files p else [ p ])
+
 let fresh_tmp_dir =
   let counter = ref 0 in
   fun () ->
@@ -20,10 +35,7 @@ let fresh_tmp_dir =
         (Printf.sprintf "repro-cache-test-%d-%d" (Unix.getpid ()) !counter)
     in
     (* Cache.create creates it; start from a clean slate. *)
-    if Sys.file_exists d then
-      Array.iter
-        (fun f -> Sys.remove (Filename.concat d f))
-        (Sys.readdir d);
+    if Sys.file_exists d then rm_tree d;
     d
 
 (* ------------------------------------------------------------------ *)
@@ -153,24 +165,53 @@ let test_disk_tier () =
   checki "disk hit counted" 1 (Cache.stats c2).Cache.hits;
   (* Corrupt every on-disk entry: lookups in a third instance must read
      as misses, never fault, and the provably-bad file is removed. *)
-  Array.iter
-    (fun name ->
-      let path = Filename.concat dir name in
+  List.iter
+    (fun path ->
       let oc = open_out path in
       output_string oc "corrupted beyond recognition";
       close_out oc)
-    (Sys.readdir dir);
+    (disk_entry_files dir);
   let c3 = Cache.create ~capacity:4 ~dir () in
   checkb "corrupt entry is a miss" true (Cache.find c3 key = None);
   checki "corrupt miss counted" 1 (Cache.stats c3).Cache.misses;
   checkb "corrupt file deleted" true
-    (not (Sys.file_exists (Filename.concat dir (key ^ ".repro-cache"))));
+    (not
+       (List.exists
+          (fun p -> Filename.basename p = key ^ ".repro-cache")
+          (disk_entry_files dir)));
   (* The tier heals: the next store round-trips again. *)
   Cache.store c3 key (compile_report f);
   let c4 = Cache.create ~capacity:4 ~dir () in
   checkb "healed after re-store" true (Cache.find c4 key <> None);
-  Array.iter (fun n -> Sys.remove (Filename.concat dir n)) (Sys.readdir dir);
-  Sys.rmdir dir
+  rm_tree dir
+
+(* The disk tier's entry cap: pushing past [disk_capacity] must trigger
+   an oldest-first sweep that brings the tier back under the cap and
+   accounts for every deleted entry in [disk_evictions]. *)
+let test_disk_cap () =
+  let dir = fresh_tmp_dir () in
+  let pipeline = default_pipeline () in
+  let c = Cache.create ~capacity:4 ~dir ~disk_capacity:8 () in
+  let keys =
+    List.init 12 (fun i ->
+        let f = random_program (1000 + i) (10 + i) in
+        let key = Cache.key ~pipeline ~check:false f in
+        Cache.store c key (compile_report f);
+        key)
+  in
+  checki "distinct keys" 12 (List.length (List.sort_uniq compare keys));
+  let remaining = List.length (disk_entry_files dir) in
+  checkb "tier capped" true (remaining <= 8);
+  checkb "evictions counted" true ((Cache.stats c).Cache.disk_evictions > 0);
+  checki "every store accounted for" 12
+    (remaining + (Cache.stats c).Cache.disk_evictions);
+  (* An uncapped instance over the same directory sees what survived. *)
+  let c2 = Cache.create ~capacity:4 ~dir () in
+  let alive =
+    List.length (List.filter (fun k -> Cache.find c2 k <> None) keys)
+  in
+  checki "survivors readable" remaining alive;
+  rm_tree dir
 
 (* ------------------------------------------------------------------ *)
 (* Driver integration: single compiles, batch dedup, obs extras        *)
@@ -295,10 +336,7 @@ let prop_disk_roundtrip =
       let r = Driver.Pipeline.compile_passes ~cache:c1 pipeline f in
       let c2 = Cache.create ~dir () in
       let round = Cache.find c2 key in
-      Array.iter
-        (fun n -> Sys.remove (Filename.concat dir n))
-        (Sys.readdir dir);
-      Sys.rmdir dir;
+      rm_tree dir;
       match round with
       | None -> false
       | Some r' ->
@@ -314,6 +352,7 @@ let suite =
     Alcotest.test_case "deserialize rejects garbage" `Quick
       test_deserialize_rejects_garbage;
     Alcotest.test_case "disk tier" `Quick test_disk_tier;
+    Alcotest.test_case "disk entry cap" `Quick test_disk_cap;
     Alcotest.test_case "compile_passes cache" `Quick test_compile_passes_cache;
     Alcotest.test_case "batch dedup and warm hits" `Quick
       test_batch_dedup_and_warm_hits;

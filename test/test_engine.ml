@@ -113,6 +113,183 @@ let test_pool_jobs_one_inline () =
         "sequential order when inline" [ 0; 1; 2; 3 ] (List.rev !seen))
 
 (* ------------------------------------------------------------------ *)
+(* The streaming core                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let counting_producer n =
+  let next = ref 0 in
+  fun () ->
+    if !next >= n then None
+    else (
+      let i = !next in
+      incr next;
+      Some i)
+
+let test_stream_in_order () =
+  List.iter
+    (fun jobs ->
+      Engine.Pool.with_pool ~jobs (fun pool ->
+          let seen = ref [] in
+          Engine.Stream.run pool ~window:8
+            ~producer:(counting_producer 200)
+            ~consumer:(fun seq v -> seen := (seq, v) :: !seen)
+            (fun i -> i * i);
+          let seen = List.rev !seen in
+          checki "every item emitted" 200 (List.length seen);
+          List.iteri
+            (fun i (seq, v) ->
+              checki "emission order is input order" i seq;
+              checki "value paired with its own index" (i * i) v)
+            seen))
+    [ 1; 4 ]
+
+let test_stream_exception () =
+  let exception Boom of int in
+  List.iter
+    (fun jobs ->
+      Engine.Pool.with_pool ~jobs (fun pool ->
+          match
+            Engine.Stream.run pool ~window:4
+              ~producer:(counting_producer 100)
+              ~consumer:(fun _ _ -> ())
+              (fun i -> if i mod 7 = 3 then raise (Boom i) else i)
+          with
+          | () -> Alcotest.fail "expected the stream to raise"
+          | exception Boom i -> checki "lowest failing index wins" 3 i))
+    [ 1; 4 ]
+
+(* The admission gate: with window [w], the producer may run at most [w]
+   items ahead of the emission frontier. The consumer runs under the
+   stream's lock, so the produced count it reads is exact. *)
+let test_stream_window_bound () =
+  let window = 4 in
+  Engine.Pool.with_pool ~jobs:4 (fun pool ->
+      let produced = ref 0 in
+      let max_ahead = ref 0 in
+      let producer =
+        let next = counting_producer 300 in
+        fun () ->
+          match next () with
+          | None -> None
+          | some ->
+            incr produced;
+            some
+      in
+      Engine.Stream.run pool ~window ~producer
+        ~consumer:(fun seq _ ->
+          let ahead = !produced - seq in
+          if ahead > !max_ahead then max_ahead := ahead)
+        (fun i -> i);
+      checkb
+        (Printf.sprintf "in-flight items bounded by the window (saw %d)"
+           !max_ahead)
+        true
+        (!max_ahead <= window);
+      (* The bound is also tight: a 4-domain pool should actually run
+         ahead of the frontier, not degenerate to lock-step. *)
+      checkb "pipeline actually overlaps" true (!max_ahead >= 2))
+
+let test_stream_empty_and_bad_window () =
+  Engine.Pool.with_pool ~jobs:3 (fun pool ->
+      let emitted = ref 0 in
+      Engine.Stream.run pool
+        ~producer:(fun () -> None)
+        ~consumer:(fun _ _ -> incr emitted)
+        (fun (i : int) -> i);
+      checki "empty producer emits nothing" 0 !emitted;
+      match
+        Engine.Stream.run pool ~window:0 ~producer:(counting_producer 1)
+          ~consumer:(fun _ _ -> ())
+          (fun i -> i)
+      with
+      | () -> Alcotest.fail "window 0 must be rejected"
+      | exception Invalid_argument _ -> checkb "window 0 rejected" true true)
+
+(* The differential that pins the refactor down: the streaming core must
+   produce exactly what the materialized batch API produces — same
+   reports, same order, same merged Obs counters — for any corpus, any
+   job count, any window. *)
+let prop_stream_equals_batch =
+  QCheck.Test.make ~count:10 ~name:"stream = compile_batch_passes"
+    QCheck.(
+      triple
+        (list_of_size Gen.(int_range 1 8) (int_bound 10_000))
+        (QCheck.oneofl [ 1; 4 ])
+        (QCheck.oneofl [ 1; 2; 64 ]))
+    (fun (seeds, jobs, window) ->
+      let funcs =
+        List.mapi (fun i seed -> random_program (seed + i) (8 + (seed mod 12))) seeds
+      in
+      let passes = Driver.Pipeline.passes_of_config Driver.Pipeline.default in
+      let obs_ref = Obs.create () in
+      let expected =
+        Driver.Pipeline.compile_batch_passes ~jobs:1 ~obs:obs_ref passes funcs
+      in
+      let obs_stream = Obs.create () in
+      let got = ref [] in
+      Engine.Pool.with_pool ~jobs (fun pool ->
+          Driver.Pipeline.stream_passes_in pool ~window ~obs:obs_stream
+            ~producer:(Engine.Stream.of_list funcs)
+            ~consumer:(fun _ r -> got := r :: !got)
+            passes);
+      let got = List.rev !got in
+      List.length expected = List.length got
+      && List.for_all2
+           (fun (a : Driver.Pipeline.report) (b : Driver.Pipeline.report) ->
+             Ir.Printer.func_to_string a.output
+             = Ir.Printer.func_to_string b.output)
+           expected got
+      && Obs.counters obs_ref = Obs.counters obs_stream)
+
+(* Bounded memory: stream a corpus 10× larger and the heap high-water must
+   stay within a small constant factor, while materializing the same
+   corpus (inputs and reports all live at once) must cost strictly more
+   than streaming it. Factors are deliberately loose — heap_words moves
+   in GC-sized steps — but a reorder-window leak (O(n) retained reports)
+   overshoots 4× by an order of magnitude. *)
+let test_stream_bounded_memory () =
+  let spec total =
+    { Workloads.Corpus.seed = 11; total; mix = Workloads.Corpus.default_mix }
+  in
+  let streaming total =
+    let watch = Harness.Measure.heap_watch () in
+    Engine.Pool.with_pool ~jobs:4 (fun pool ->
+        Driver.Pipeline.stream_passes_in pool
+          ~producer:(Workloads.Corpus.producer (spec total))
+          ~consumer:(fun _ _ -> Harness.Measure.heap_sample watch)
+          (Driver.Pipeline.passes_of_config Driver.Pipeline.default));
+    Harness.Measure.heap_growth_words watch
+  in
+  let materialized total =
+    let watch = Harness.Measure.heap_watch () in
+    Engine.Pool.with_pool ~jobs:4 (fun pool ->
+        let next = Workloads.Corpus.producer (spec total) in
+        let rec all acc =
+          match next () with Some f -> all (f :: acc) | None -> List.rev acc
+        in
+        let reports =
+          Driver.Pipeline.compile_batch_passes_in pool
+            (Driver.Pipeline.passes_of_config Driver.Pipeline.default)
+            (all [])
+        in
+        ignore (Sys.opaque_identity reports);
+        Harness.Measure.heap_sample watch);
+    Harness.Measure.heap_growth_words watch
+  in
+  let small = streaming 100 in
+  let large = streaming 1000 in
+  let mat = materialized 1000 in
+  checkb
+    (Printf.sprintf "streaming peak flat across 10x corpus (%d -> %d words)"
+       small large)
+    true
+    (large <= 4 * small);
+  checkb
+    (Printf.sprintf "streaming beats materialized at 1000 funcs (%d < %d)"
+       large mat)
+    true (large < mat)
+
+(* ------------------------------------------------------------------ *)
 (* Batch compilation determinism                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -211,6 +388,17 @@ let suite =
       test_pool_exception;
     Alcotest.test_case "pool: jobs=1 runs inline" `Quick
       test_pool_jobs_one_inline;
+    Alcotest.test_case "stream: in-order completeness" `Quick
+      test_stream_in_order;
+    Alcotest.test_case "stream: exception propagation" `Quick
+      test_stream_exception;
+    Alcotest.test_case "stream: window bounds in-flight items" `Quick
+      test_stream_window_bound;
+    Alcotest.test_case "stream: empty producer + window validation" `Quick
+      test_stream_empty_and_bad_window;
+    QCheck_alcotest.to_alcotest prop_stream_equals_batch;
+    Alcotest.test_case "stream: bounded memory vs materialized" `Slow
+      test_stream_bounded_memory;
     Alcotest.test_case "batch = sequential (kernels + large)" `Slow
       test_batch_matches_sequential;
     Alcotest.test_case "batch deterministic across job counts" `Slow

@@ -20,6 +20,7 @@ let () =
       ("frontend", Test_frontend.suite);
       ("interp", Test_interp.suite);
       ("workloads", Test_workloads.suite);
+      ("corpus", Test_corpus.suite);
       ("edge-cases", Test_edge_cases.suite);
       ("copy-prop", Test_copy_prop.suite);
       ("pipeline", Test_pipeline.suite);
