@@ -1,0 +1,89 @@
+open Support
+module Cfg = Ir.Cfg
+module Liveness = Analysis.Liveness
+module Dominance = Analysis.Dominance
+module Loops = Analysis.Loops
+
+type stats = Ig_coalesce.stats
+
+(* The copies of the renamed program, each with the loop depth of its
+   block, innermost-first — the same sequence Ig_coalesce extracts from the
+   materialized rewrite, read off the original code through [find]. *)
+let collect_copies (f : Ir.func) cfg depth_of find =
+  let copies = ref [] in
+  Array.iter
+    (fun (b : Ir.block) ->
+      if Cfg.reachable cfg b.label then
+        List.iter
+          (fun i ->
+            match i with
+            | Ir.Copy { dst; src = Ir.Reg s } ->
+              let d = find dst and s = find s in
+              if d <> s then copies := (depth_of b.label, d, s) :: !copies
+            | _ -> ())
+          b.body)
+    f.blocks;
+  List.stable_sort (fun (d1, _, _) (d2, _, _) -> compare d2 d1) (List.rev !copies)
+
+let run (f : Ir.func) =
+  Array.iter
+    (fun (b : Ir.block) ->
+      if b.phis <> [] then invalid_arg "Briggs_star: function has phi-nodes")
+    f.blocks;
+  (* Renaming never changes labels or edges, so one CFG (and one loop
+     nest) serves every round — where Ig_coalesce rebuilds both per round
+     from the materialized rewrite. *)
+  let cfg = Cfg.of_func f in
+  let dom = Dominance.compute f cfg in
+  let loops = Loops.compute cfg dom in
+  let uf = Union_find.create f.nregs in
+  let find r = Union_find.find uf r in
+  let rounds = ref 0 in
+  let coalesced = ref 0 in
+  let graph_bytes = ref [] in
+  let graph_nodes = ref [] in
+  let graph_edges = ref [] in
+  let liveness_bytes = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    incr rounds;
+    let live = Liveness.compute_renamed ~find f cfg in
+    liveness_bytes := max !liveness_bytes (Liveness.memory_bytes live);
+    let copies = collect_copies f cfg (Loops.depth loops) find in
+    let members =
+      List.concat_map (fun (_, d, s) -> [ d; s ]) copies
+      |> List.sort_uniq compare
+    in
+    let graph = Igraph.build_restricted_renamed f cfg live ~find ~members in
+    graph_bytes := Igraph.memory_bytes graph :: !graph_bytes;
+    graph_nodes := Igraph.num_nodes graph :: !graph_nodes;
+    graph_edges := Igraph.num_edges graph :: !graph_edges;
+    let changed = ref false in
+    List.iter
+      (fun (_, d, s) ->
+        let d' = Union_find.find uf d and s' = Union_find.find uf s in
+        if d' <> s' && not (Igraph.interferes graph d' s') then begin
+          let rep = Union_find.union uf d' s' in
+          let other = if rep = d' then s' else d' in
+          (* Keep the graph conservative for the rest of this pass. *)
+          Igraph.merge graph ~into:rep other;
+          incr coalesced;
+          changed := true
+        end)
+      copies;
+    if not !changed then continue_ := false
+  done;
+  let final = Ig_coalesce.rewrite f ~find:(Union_find.find uf) in
+  ( final,
+    {
+      Ig_coalesce.rounds = !rounds;
+      coalesced = !coalesced;
+      copies_remaining = Ir.count_copies final;
+      graph_bytes_per_round = List.rev !graph_bytes;
+      peak_graph_bytes = List.fold_left max 0 !graph_bytes;
+      graph_nodes_per_round = List.rev !graph_nodes;
+      graph_edges_per_round = List.rev !graph_edges;
+      aux_memory_bytes = !liveness_bytes + (16 * f.nregs);
+    } )
+
+let run_exn f = fst (run f)

@@ -1,0 +1,36 @@
+(** The fused Briggs* coalescer: {!Ig_coalesce}'s [Briggs_star] variant
+    with the per-round whole-function rewrite engineered away.
+
+    {!Ig_coalesce} materializes the renamed program every round (a full
+    [Ir.map_blocks] allocation), rebuilds its CFG, and re-solves liveness
+    before building the copy-restricted graph. This module keeps the
+    union-find as {e the} program representation instead: one CFG and one
+    loop nest serve every round, liveness is re-solved directly over
+    representative names ({!Analysis.Liveness.compute_renamed}), and the
+    restricted graph is built by scanning the original code through the
+    live-range map ({!Igraph.build_restricted_renamed}). Only the final
+    result is ever materialized — through the same {!Ig_coalesce.rewrite}
+    the reference uses.
+
+    Because each round sees exactly the copies, liveness and interference
+    answers the reference sees — in the same order — the two make
+    {b byte-identical coalescing decisions}: same unions, same round
+    count, same printed output (the differential tests in
+    [test_baseline.ml] pin this over every generator family). What
+    changes is the constant factor: no per-round IR allocation, no
+    per-round CFG build — the engineering-variant speedup the paper
+    reports alongside Briggs*'s ~1000× graph-memory saving. *)
+
+type stats = Ig_coalesce.stats
+(** Same shape as the reference coalescer's, so differentials compare
+    field-for-field. *)
+
+val run : Ir.func -> Ir.func * stats
+(** Coalesce φ-free code. Raises [Invalid_argument] if the function still
+    has φ-nodes. [run f] and
+    [Ig_coalesce.run ~variant:Briggs_star f] return byte-identical
+    functions and identical decision stats (rounds, coalesced,
+    copies_remaining, graph nodes/edges per round). *)
+
+val run_exn : Ir.func -> Ir.func
+(** {!run}, result only. *)

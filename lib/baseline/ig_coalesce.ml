@@ -13,6 +13,7 @@ type stats = {
   graph_bytes_per_round : int list;
   peak_graph_bytes : int;
   graph_nodes_per_round : int list;
+  graph_edges_per_round : int list;
   aux_memory_bytes : int;
 }
 
@@ -29,6 +30,22 @@ let rewrite_with (f : Ir.func) find =
         term = Ir.map_term_uses rename_use b.term;
       })
     { f with params = List.map find f.params }
+
+let rewrite f ~find =
+  let rewritten = rewrite_with f find in
+  Ir.map_blocks
+    (fun b ->
+      {
+        b with
+        body =
+          List.filter
+            (fun i ->
+              match i with
+              | Ir.Copy { dst; src = Ir.Reg s } -> dst <> s
+              | _ -> true)
+            b.body;
+      })
+    rewritten
 
 (* Copies of the current code, each with the loop depth of its block;
    processed innermost-first (the heuristic the paper discusses: removing
@@ -61,6 +78,7 @@ let run ~variant (f : Ir.func) =
   let coalesced = ref 0 in
   let graph_bytes = ref [] in
   let graph_nodes = ref [] in
+  let graph_edges = ref [] in
   let liveness_bytes = ref 0 in
   let continue_ = ref true in
   while !continue_ do
@@ -82,6 +100,7 @@ let run ~variant (f : Ir.func) =
     in
     graph_bytes := Igraph.memory_bytes graph :: !graph_bytes;
     graph_nodes := Igraph.num_nodes graph :: !graph_nodes;
+    graph_edges := Igraph.num_edges graph :: !graph_edges;
     let changed = ref false in
     List.iter
       (fun (_, d, s) ->
@@ -98,22 +117,7 @@ let run ~variant (f : Ir.func) =
     if not !changed then continue_ := false
   done;
   (* Final rewrite; coalesced copies are now the identity and disappear. *)
-  let final = rewrite_with f (Union_find.find uf) in
-  let final =
-    Ir.map_blocks
-      (fun b ->
-        {
-          b with
-          body =
-            List.filter
-              (fun i ->
-                match i with
-                | Ir.Copy { dst; src = Ir.Reg s } -> dst <> s
-                | _ -> true)
-              b.body;
-        })
-      final
-  in
+  let final = rewrite f ~find:(Union_find.find uf) in
   ( final,
     {
       rounds = !rounds;
@@ -122,6 +126,7 @@ let run ~variant (f : Ir.func) =
       graph_bytes_per_round = List.rev !graph_bytes;
       peak_graph_bytes = List.fold_left max 0 !graph_bytes;
       graph_nodes_per_round = List.rev !graph_nodes;
+      graph_edges_per_round = List.rev !graph_edges;
       aux_memory_bytes = !liveness_bytes + (16 * f.nregs);
     } )
 

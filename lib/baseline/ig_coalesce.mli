@@ -25,6 +25,9 @@ type stats = {
   graph_bytes_per_round : int list;  (** Table 1's per-pass memory *)
   peak_graph_bytes : int;
   graph_nodes_per_round : int list;
+  graph_edges_per_round : int list;
+      (** undirected interference edges of each build — with nodes and
+          bytes, the bench tables' peak-graph-size columns *)
   aux_memory_bytes : int;  (** liveness + union-find, for Table 3 *)
 }
 
@@ -32,3 +35,9 @@ val run : variant:variant -> Ir.func -> Ir.func * stats
 (** Raises [Invalid_argument] if the function still has φ-nodes. *)
 
 val run_exn : variant:variant -> Ir.func -> Ir.func
+
+val rewrite : Ir.func -> find:(Ir.reg -> Ir.reg) -> Ir.func
+(** Map every register through the live-range map [find] and drop the
+    copies that became the identity — the final materialization step this
+    module and the fused {!Briggs_star} coalescer share, so their outputs
+    are byte-identical whenever their union-finds agree. *)

@@ -1,12 +1,14 @@
-type pipeline = Standard | New | Briggs | Briggs_star
+type pipeline = Standard | New | Briggs | Briggs_star | Briggs_star_fused
 
 let name = function
   | Standard -> "Standard"
   | New -> "New"
   | Briggs -> "Briggs"
   | Briggs_star -> "Briggs*"
+  | Briggs_star_fused -> "Briggs*-fused"
 
 let all = [ Standard; New; Briggs; Briggs_star ]
+let with_fused = all @ [ Briggs_star_fused ]
 
 type result = {
   func : Ir.func;
@@ -14,6 +16,8 @@ type result = {
   aux_bytes : int;
   ig_rounds : int;
   ig_bytes_per_round : int list;
+  ig_peak_nodes : int;
+  ig_peak_edges : int;
 }
 
 (* Working set every conversion shares: the IR itself plus the liveness
@@ -39,6 +43,8 @@ let convert ?scratch pipeline (f : Ir.func) =
       aux_bytes = base_bytes ssa;
       ig_rounds = 0;
       ig_bytes_per_round = [];
+      ig_peak_nodes = 0;
+      ig_peak_edges = 0;
     }
   | New ->
     let out, stats = Core.Coalesce.run ?scratch ssa in
@@ -49,15 +55,18 @@ let convert ?scratch pipeline (f : Ir.func) =
       aux_bytes = Ir.estimated_bytes ssa + stats.aux_memory_bytes;
       ig_rounds = 0;
       ig_bytes_per_round = [];
+      ig_peak_nodes = 0;
+      ig_peak_edges = 0;
     }
-  | Briggs | Briggs_star ->
-    let variant =
-      match pipeline with
-      | Briggs -> Baseline.Ig_coalesce.Briggs
-      | _ -> Baseline.Ig_coalesce.Briggs_star
-    in
+  | Briggs | Briggs_star | Briggs_star_fused ->
     let inst = standard_instantiation ssa in
-    let out, stats = Baseline.Ig_coalesce.run ~variant inst in
+    let out, (stats : Baseline.Ig_coalesce.stats) =
+      match pipeline with
+      | Briggs -> Baseline.Ig_coalesce.run ~variant:Briggs inst
+      | Briggs_star -> Baseline.Ig_coalesce.run ~variant:Briggs_star inst
+      | _ -> Baseline.Briggs_star.run inst
+    in
+    let peak = List.fold_left max 0 in
     {
       func = out;
       static_copies = Ir.count_copies out;
@@ -66,6 +75,8 @@ let convert ?scratch pipeline (f : Ir.func) =
         + stats.peak_graph_bytes;
       ig_rounds = stats.rounds;
       ig_bytes_per_round = stats.graph_bytes_per_round;
+      ig_peak_nodes = peak stats.graph_nodes_per_round;
+      ig_peak_edges = peak stats.graph_edges_per_round;
     }
 
 let convert_batch ?jobs pipeline funcs =
@@ -91,6 +102,7 @@ let spec_of = function
   | New -> "construct:pruned,coalesce"
   | Briggs -> "construct:pruned,briggs"
   | Briggs_star -> "construct:pruned,briggs-star"
+  | Briggs_star_fused -> "construct:pruned,briggs-star:fused"
 
 let compile_spec ?check spec f =
   match Pass.Spec.parse spec with

@@ -7,16 +7,25 @@
       interference-graph build/coalesce loop (full graph vs copy-restricted
       graph; identical output).
 
+    A fifth conversion, {b Briggs_star_fused}, is the engineering variant
+    of Briggs* ({!Baseline.Briggs_star}): byte-identical decisions with the
+    per-round whole-function rewrite fused away. It is not one of the
+    paper's four ({!all}) but rides along in the bench tables
+    ({!with_fused}).
+
     Each conversion reports the modeled peak bytes of its distinguishing
     data structures, which is what Tables 1 and 3 compare. *)
 
-type pipeline = Standard | New | Briggs | Briggs_star
+type pipeline = Standard | New | Briggs | Briggs_star | Briggs_star_fused
 
 val name : pipeline -> string
 (** Display name, as used in table headers ("Standard", "Briggs*", ...). *)
 
 val all : pipeline list
-(** Every conversion, in the order the tables list them. *)
+(** The paper's four conversions, in the order the tables list them. *)
+
+val with_fused : pipeline list
+(** {!all} plus {!Briggs_star_fused} — the bench tables' row order. *)
 
 type result = {
   func : Ir.func;  (** φ-free, validated *)
@@ -24,6 +33,10 @@ type result = {
   aux_bytes : int;
   ig_rounds : int;  (** graph-build passes; 0 for Standard/New *)
   ig_bytes_per_round : int list;
+  ig_peak_nodes : int;  (** largest graph built in any round; 0 for Standard/New *)
+  ig_peak_edges : int;
+      (** undirected interference edges of that build — with
+          {!ig_bytes_per_round}, the tables' peak-graph-size columns *)
 }
 
 val convert : ?scratch:Support.Scratch.t -> pipeline -> Ir.func -> result

@@ -35,6 +35,30 @@ let pick rng l = List.nth l (rand rng (List.length l))
 
 let var_name i = Printf.sprintf "v%d" i
 
+(* Seed the variable pool from the parameters so everything is strict-ish
+   even before the lowering inserts initializations. *)
+let preamble num_vars =
+  List.init num_vars (fun i ->
+      Frontend.Ast.Assign
+        ( var_name i,
+          if i = 0 then Frontend.Ast.Var "n"
+          else if i = 1 then Frontend.Ast.Var "a"
+          else Frontend.Ast.Int (i * 3 - 4) ))
+
+(* Return a mix of every variable so no assignment is trivially dead. *)
+let checksum num_vars =
+  let sum =
+    List.fold_left
+      (fun acc i ->
+        Frontend.Ast.Binary
+          ( (if i mod 2 = 0 then Frontend.Ast.Add else Frontend.Ast.Sub),
+            acc,
+            Frontend.Ast.Var (var_name i) ))
+      (Frontend.Ast.Var (var_name 0))
+      (List.init (num_vars - 1) (fun i -> i + 1))
+  in
+  [ Frontend.Ast.Return (Some sum) ]
+
 let generate cfg =
   let rng = rng_make cfg.seed in
   let var () = Frontend.Ast.Var (var_name (rand rng cfg.num_vars)) in
@@ -136,31 +160,7 @@ let generate cfg =
       s @ stmts depth (budget - used)
     end
   in
-  (* Seed the variable pool from the parameters so everything is strict-ish
-     even before the lowering inserts initializations. *)
-  let preamble =
-    List.init cfg.num_vars (fun i ->
-        Frontend.Ast.Assign
-          ( var_name i,
-            if i = 0 then Frontend.Ast.Var "n"
-            else if i = 1 then Frontend.Ast.Var "a"
-            else Frontend.Ast.Int (i * 3 - 4) ))
-  in
   let body = stmts 0 cfg.size in
-  let checksum =
-    (* Return a mix of every variable so no assignment is trivially dead. *)
-    let sum =
-      List.fold_left
-        (fun acc i ->
-          Frontend.Ast.Binary
-            ( (if i mod 2 = 0 then Frontend.Ast.Add else Frontend.Ast.Sub),
-              acc,
-              Frontend.Ast.Var (var_name i) ))
-        (Frontend.Ast.Var (var_name 0))
-        (List.init (cfg.num_vars - 1) (fun i -> i + 1))
-    in
-    [ Frontend.Ast.Return (Some sum) ]
-  in
   (* The name must identify the config: two configs differing only in
      [num_vars] or [max_depth] generate different programs, so they may not
      share a name (batch drivers and benches key tables by function name).
@@ -172,9 +172,77 @@ let generate cfg =
       Printf.sprintf "gen%d_%d_v%dd%d" cfg.seed cfg.size cfg.num_vars
         cfg.max_depth
   in
-  { Frontend.Ast.name; params = [ "n"; "a" ]; body = preamble @ body @ checksum }
+  {
+    Frontend.Ast.name;
+    params = [ "n"; "a" ];
+    body = preamble cfg.num_vars @ body @ checksum cfg.num_vars;
+  }
 
 let generate_ir cfg = fst (Frontend.Lower.lower (generate cfg))
+
+(* Arithmetic-heavy "numeric" programs: the straight-line-numerics shape of
+   the paper's largest inputs (fpppp, twldrv) — long runs of deep
+   expressions inside a few bounded loops. Almost every register is a
+   single-use expression temp, so the copy-related fraction of the name
+   universe is tiny: the regime where the copy-restricted Briggs* graph
+   is orders of magnitude smaller than the full one. The structured
+   [generate] above cannot reach this regime — its statement mix is built
+   to stress coalescing, which makes nearly half the names copy-related. *)
+let generate_numeric cfg =
+  let rng = rng_make cfg.seed in
+  let var () = Frontend.Ast.Var (var_name (rand rng cfg.num_vars)) in
+  let arr_names = [ "a0"; "a1"; "a2" ] in
+  (* Full binary expression trees: depth d costs ~2^d single-use temps. *)
+  let rec expr depth =
+    if depth = 0 then
+      match rand rng 4 with
+      | 0 -> Frontend.Ast.Int (rand rng 20 - 5)
+      | _ -> var ()
+    else
+      Frontend.Ast.Binary
+        ( pick rng [ Frontend.Ast.Add; Frontend.Ast.Sub; Frontend.Ast.Mul ],
+          expr (depth - 1),
+          expr (depth - 1) )
+  in
+  let index_expr () =
+    let e = expr 1 in
+    Frontend.Ast.Binary (Frontend.Ast.Mod, Frontend.Ast.Binary (Frontend.Ast.Add, Frontend.Ast.Binary (Frontend.Ast.Mod, e, Frontend.Ast.Int 64), Frontend.Ast.Int 64), Frontend.Ast.Int 64)
+  in
+  let stmt () =
+    match rand rng 8 with
+    | 0 -> Frontend.Ast.Store (pick rng arr_names, index_expr (), expr 3)
+    | _ -> Frontend.Ast.Assign (var_name (rand rng cfg.num_vars), expr 4)
+  in
+  let run n = List.init n (fun _ -> stmt ()) in
+  let counted_loop c bound body =
+    [
+      Frontend.Ast.Assign (c, Frontend.Ast.Int 0);
+      Frontend.Ast.While
+        ( Frontend.Ast.Binary (Frontend.Ast.Lt, Frontend.Ast.Var c, Frontend.Ast.Int bound),
+          body
+          @ [
+              Frontend.Ast.Assign
+                (c, Frontend.Ast.Binary (Frontend.Ast.Add, Frontend.Ast.Var c, Frontend.Ast.Int 1));
+            ] );
+    ]
+  in
+  (* Two loops around one straight run: enough joins that every pool
+     variable still needs φs (so the coalescers have real work), with the
+     statement budget spent on expression temps rather than copies. *)
+  let third = max 1 (cfg.size / 3) in
+  let body =
+    counted_loop "c1" 3 (run third)
+    @ run third
+    @ counted_loop "c2" 2 (run (max 1 (cfg.size - (2 * third))))
+  in
+  let name = Printf.sprintf "num%d_%d" cfg.seed cfg.size in
+  {
+    Frontend.Ast.name;
+    params = [ "n"; "a" ];
+    body = preamble cfg.num_vars @ body @ checksum cfg.num_vars;
+  }
+
+let generate_numeric_ir cfg = fst (Frontend.Lower.lower (generate_numeric cfg))
 
 (* ------------------------------------------------------------------ *)
 (* Adversarial CFG shapes                                             *)

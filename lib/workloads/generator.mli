@@ -26,6 +26,19 @@ val generate : config -> Frontend.Ast.func
 val generate_ir : config -> Ir.func
 (** {!generate} followed by lowering. *)
 
+val generate_numeric : config -> Frontend.Ast.func
+(** Arithmetic-heavy programs shaped like the paper's largest inputs
+    (fpppp, twldrv): long runs of deep expression trees inside a couple of
+    bounded loops, so almost every register is a single-use temp and only a
+    tiny fraction of the name universe is copy-related. This is the regime
+    where the copy-restricted Briggs* interference graph is orders of
+    magnitude smaller than the full one; {!generate}'s coalescing-stress
+    mix cannot produce it. [max_depth] is unused. Deterministic in [seed];
+    the function takes parameters [n] and [a]. *)
+
+val generate_numeric_ir : config -> Ir.func
+(** {!generate_numeric} followed by lowering. *)
+
 (** {1 Adversarial CFG shapes}
 
     Raw-IR families built directly with {!Ir.Builder} rather than through

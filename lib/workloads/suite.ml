@@ -56,6 +56,23 @@ let large () =
             args = [ Ir.Int 9; Ir.Int 2 ];
           })
         [ (101, 300); (102, 600); (103, 1200) ]
+      (* The numeric family is the fpppp/twldrv stand-in proper: thousands
+         of single-use expression temps around a handful of φ-carried
+         variables, the shape on which the copy-restricted graph's
+         order-of-magnitude memory win actually appears. *)
+      @ List.map
+          (fun (seed, size) ->
+            let f =
+              Generator.generate_numeric_ir
+                { Generator.seed; size; num_vars = 16; max_depth = 4 }
+            in
+            Ir.Validate.check_exn f;
+            {
+              name = Printf.sprintf "num%d" size;
+              func = f;
+              args = [ Ir.Int 9; Ir.Int 2 ];
+            })
+          [ (201, 250); (202, 500) ]
     in
     large_memo := Some l;
     l

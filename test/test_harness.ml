@@ -30,11 +30,14 @@ let test_table_rendering () =
   checkb "right-aligned numbers" true (contains s "x      1")
 
 let test_pipelines_consistent () =
-  (* The four pipelines on one kernel: φ-free outputs, equivalent
-     semantics, and Briggs graphs at least as big as Briggs*. *)
+  (* The four pipelines (plus the fused Briggs* variant) on one kernel:
+     φ-free outputs, equivalent semantics, and Briggs graphs at least as
+     big as Briggs*. *)
   let e = Workloads.Suite.find_exn "deseco" in
   let results =
-    List.map (fun p -> (p, Harness.Pipelines.convert p e.func)) Harness.Pipelines.all
+    List.map
+      (fun p -> (p, Harness.Pipelines.convert p e.func))
+      Harness.Pipelines.with_fused
   in
   let reference = Interp.run ~args:e.args e.func in
   List.iter
@@ -50,8 +53,38 @@ let test_pipelines_consistent () =
   let find p = List.assoc p results in
   let briggs = find Harness.Pipelines.Briggs in
   let star = find Harness.Pipelines.Briggs_star in
+  let fused = find Harness.Pipelines.Briggs_star_fused in
   checki "identical copy counts" briggs.static_copies star.static_copies;
-  checkb "graph rounds recorded" true (briggs.ig_rounds >= 1 && star.ig_rounds >= 1)
+  checki "fused identical copy counts" star.static_copies fused.static_copies;
+  checkb "graph rounds recorded" true (briggs.ig_rounds >= 1 && star.ig_rounds >= 1);
+  checki "fused same rounds as Briggs*" star.ig_rounds fused.ig_rounds;
+  checki "fused same peak nodes" star.ig_peak_nodes fused.ig_peak_nodes;
+  checki "fused same peak edges" star.ig_peak_edges fused.ig_peak_edges;
+  checkb "restricted graph no bigger than full" true
+    (star.ig_peak_nodes <= briggs.ig_peak_nodes
+    && star.ig_peak_edges <= briggs.ig_peak_edges)
+
+let test_allocated_pipelines_equiv () =
+  (* Every conversion followed by register allocation, through the pass
+     manager's --check door: translation validation (Check.equiv against
+     the original, spill slab excluded) runs inside compile_spec, so a
+     plain return here means every allocated output of every pipeline is
+     observationally equivalent to its input. *)
+  List.iter
+    (fun kernel ->
+      let e = Workloads.Suite.find_exn kernel in
+      List.iter
+        (fun p ->
+          let spec = Harness.Pipelines.spec_of p ^ ",regalloc:8" in
+          let r = Harness.Pipelines.compile_spec ~check:true spec e.func in
+          checkb
+            (Harness.Pipelines.name p ^ " allocated " ^ kernel ^ " is phi-free")
+            true
+            (Array.for_all
+               (fun (b : Ir.block) -> b.Ir.phis = [])
+               r.output.Ir.blocks))
+        Harness.Pipelines.with_fused)
+    [ "deseco"; "tomcatv"; "rkf45" ]
 
 let test_dynamic_copies_helper () =
   let e = Workloads.Suite.find_exn "saxpy" in
@@ -73,6 +106,8 @@ let suite =
     Alcotest.test_case "average" `Quick test_average;
     Alcotest.test_case "table rendering" `Quick test_table_rendering;
     Alcotest.test_case "pipelines consistent" `Quick test_pipelines_consistent;
+    Alcotest.test_case "allocated pipelines equiv" `Quick
+      test_allocated_pipelines_equiv;
     Alcotest.test_case "dynamic copies helper" `Quick test_dynamic_copies_helper;
     Alcotest.test_case "measure smoke" `Quick test_measure_smoke;
   ]

@@ -10,6 +10,10 @@
    - the preceding non-blank line closes a comment ([*)]), covering the
      doc-before style and vals grouped under one shared header comment.
 
+   Additionally every interface must open with a module-level doc
+   comment [(** ... *)] before the first signature item, saying what
+   the module is for (the text odoc would render as the synopsis).
+
    Exit 0 when clean; exit 1 listing every file:line offender. *)
 
 let is_prefix p s =
@@ -70,6 +74,17 @@ let lint_file path =
   let lines = Array.of_list (List.rev !lines) in
   let n = Array.length lines in
   let offenders = ref [] in
+  (* Module header: a doc-comment opener must appear before the first
+     signature item. *)
+  (let j = ref 0 in
+   let verdict = ref None in
+   while !verdict = None && !j < n do
+     if contains_doc_open lines.(!j) then verdict := Some true
+     else if is_item_start lines.(!j) then verdict := Some false
+     else incr j
+   done;
+   if !verdict = Some false then
+     offenders := (!j + 1, "<module header>") :: !offenders);
   for i = 0 to n - 1 do
     match val_name lines.(i) with
     | None -> ()
@@ -133,8 +148,12 @@ let () =
   | _ ->
     List.iter
       (fun (path, line, name) ->
-        Printf.eprintf "%s:%d: val %s has no doc comment\n" path line name)
+        if name = "<module header>" then
+          Printf.eprintf "%s:%d: no module-level doc comment before the \
+                          first item\n"
+            path line
+        else Printf.eprintf "%s:%d: val %s has no doc comment\n" path line name)
       offenders;
-    Printf.eprintf "docs lint: %d undocumented val(s)\n"
+    Printf.eprintf "docs lint: %d undocumented item(s)\n"
       (List.length offenders);
     exit 1
